@@ -1,0 +1,60 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/time.h"
+
+namespace bench {
+
+/// Command-line knobs shared by every figure bench. Defaults are sized so
+/// the whole bench suite runs in minutes; pass --paper for runs closer to
+/// the paper's sample counts (hours of simulated time).
+struct Options {
+  std::uint64_t seed = 2003;
+  double scale = 1.0;  ///< multiplies sample counts / durations
+  bool paper = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper") == 0) {
+        o.paper = true;
+        o.scale = 10.0;
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        o.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+        o.scale = std::strtod(argv[++i], nullptr);
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "usage: %s [--paper] [--seed N] [--scale X]\n"
+            "  --paper   run at ~10x the default sample counts\n"
+            "  --seed N  RNG seed (default 2003)\n"
+            "  --scale X multiply sample counts by X\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+
+  [[nodiscard]] std::uint64_t scaled(std::uint64_t n) const {
+    const auto s = static_cast<std::uint64_t>(static_cast<double>(n) * scale);
+    return s == 0 ? 1 : s;
+  }
+};
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_subheader(const std::string& title) {
+  std::printf("\n---- %s ----\n", title.c_str());
+}
+
+}  // namespace bench

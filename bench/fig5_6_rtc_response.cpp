@@ -1,0 +1,84 @@
+// Figures 5 & 6: realfeel RTC interrupt response under the stress-kernel
+// load.
+//
+//  Fig 5: kernel.org 2.4.20 (no low-latency, no preemption) — the paper
+//         measured max latency 92.3 ms with 99.140% of samples < 0.1 ms.
+//  Fig 6: RedHawk 1.4 with CPU 1 shielded, RTC IRQ + realfeel bound to
+//         CPU 1 — the paper measured max latency 0.565 ms.
+//
+// The paper ran 60,000,000 samples (~8 h at 2048 Hz); the default here is
+// smaller for runtime, with the contended-lock probability documented in
+// DESIGN.md calibrated for this scale. Use --paper for longer runs.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "config/platform.h"
+#include "metrics/report.h"
+#include "rt/realfeel_test.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+namespace {
+
+void run_case(const std::string& title, const config::KernelConfig& kcfg,
+              bool shield_cpu1, std::uint64_t samples, std::uint64_t seed) {
+  bench::print_subheader(title);
+
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
+  workload::StressKernel{}.install(p);
+
+  rt::RealfeelTest::Params rp;
+  rp.rate_hz = 2048;
+  rp.samples = samples;
+  if (shield_cpu1) rp.affinity = hw::CpuMask::single(1);
+  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+
+  p.boot();
+  if (shield_cpu1) {
+    p.shield().dedicate_cpu(1, test.task(), p.rtc_device().irq());
+  }
+  test.start();
+
+  // 2048 Hz → samples/2048 seconds of simulated time, plus margin.
+  const sim::Duration horizon =
+      sim::from_seconds(static_cast<double>(samples) / 2048.0 * 1.5) + 5_s;
+  p.run_for(horizon);
+
+  if (!test.done()) {
+    std::printf("WARNING: only %llu/%llu samples collected\n",
+                static_cast<unsigned long long>(test.collected()),
+                static_cast<unsigned long long>(samples));
+  }
+  const auto thresholds = metrics::figure5_thresholds();
+  std::fputs(metrics::cumulative_bucket_table(test.latencies(), thresholds)
+                 .c_str(),
+             stdout);
+  std::fputs(metrics::ascii_histogram(test.latencies()).c_str(), stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const std::uint64_t samples = opt.scaled(2'000'000);
+
+  bench::print_header(
+      "Figures 5-6: RTC interrupt response (realfeel @2048 Hz, "
+      "stress-kernel load)");
+  std::printf("samples per configuration: %llu (paper: 60,000,000)\n",
+              static_cast<unsigned long long>(samples));
+
+  run_case("Figure 5: kernel.org 2.4.20",
+           config::KernelConfig::vanilla_2_4_20(),
+           /*shield_cpu1=*/false, samples, opt.seed);
+
+  run_case("Figure 6: RedHawk 1.4, CPU 1 shielded (procs+irqs+ltmr)",
+           config::KernelConfig::redhawk_1_4(),
+           /*shield_cpu1=*/true, samples, opt.seed + 1);
+
+  std::printf(
+      "\nPaper reference: Fig5 max 92.3 ms (99.140%% < 0.1 ms); "
+      "Fig6 max 0.565 ms (99.99989%% < 0.1 ms)\n");
+  return 0;
+}

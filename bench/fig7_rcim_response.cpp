@@ -1,0 +1,72 @@
+// Figure 7: RCIM interrupt response on a shielded CPU (§6.3).
+//
+// RedHawk 1.4 on a dual 2.0 GHz P4 Xeon with the RCIM PCI card. Load:
+// stress-kernel + X11perf on the console + ttcp over 10BaseT Ethernet.
+// CPU 1 is shielded; the RCIM timer interrupt and the measuring task are
+// bound to it. The ioctl wait path sets the multithreaded-driver flag, so
+// no BKL is taken (the kernel change described in §6.3).
+//
+// Paper: min 11 us, avg 11.3 us, max 27 us over 10,000,000 interrupts.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "config/platform.h"
+#include "metrics/report.h"
+#include "rt/rcim_test.h"
+#include "workload/stress_kernel.h"
+#include "workload/ttcp.h"
+#include "workload/x11perf.h"
+
+using namespace sim::literals;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const std::uint64_t samples = opt.scaled(2'000'000);
+
+  bench::print_header(
+      "Figure 7: RCIM interrupt response, shielded CPU "
+      "(stress-kernel + x11perf + ttcp-over-Ethernet)");
+  std::printf("samples: %llu (paper: 10,000,000)\n",
+              static_cast<unsigned long long>(samples));
+
+  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                     config::KernelConfig::redhawk_1_4(), opt.seed);
+  workload::StressKernel{}.install(p);
+  workload::X11Perf{}.install(p);
+  workload::TtcpEthernet{}.install(p);
+
+  rt::RcimTest::Params rp;
+  rp.count = 2'500;  // 1 ms period at the RCIM's 400 ns tick
+  rp.samples = samples;
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RcimTest test(p.kernel(), p.rcim_driver(), rp);
+
+  p.boot();
+  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
+  test.start();
+
+  const sim::Duration horizon =
+      sim::from_seconds(static_cast<double>(samples) / 1000.0 * 1.5) + 5_s;
+  p.run_for(horizon);
+
+  if (!test.done()) {
+    std::printf("WARNING: only %llu/%llu samples collected\n",
+                static_cast<unsigned long long>(test.collected()),
+                static_cast<unsigned long long>(samples));
+  }
+
+  std::fputs(metrics::min_avg_max_line(test.latencies()).c_str(), stdout);
+  std::printf("overruns (period missed entirely): %llu\n",
+              static_cast<unsigned long long>(test.overruns()));
+  const sim::Duration edges[] = {10_us, 15_us, 20_us, 25_us, 30_us, 50_us, 100_us};
+  std::fputs(metrics::cumulative_bucket_table(test.latencies(),
+                                              std::span(edges))
+                 .c_str(),
+             stdout);
+  std::fputs(metrics::ascii_histogram(test.latencies()).c_str(), stdout);
+
+  std::printf(
+      "\nPaper reference: min 11 us / avg 11.3 us / max 27 us; "
+      "all 10,000,000 samples < 0.03 ms\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Frequency sweep: how fast can a shielded CPU run a periodic RT task?
+//
+// §2 lists "tasks that must be run at very high frequencies" as a shielded-
+// CPU use case. This bench programs the RCIM from 250 Hz up to 10 kHz on a
+// shielded CPU under full load and reports, per rate, the latency profile
+// and whether any period was overrun — the practical frequency ceiling.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "config/platform.h"
+#include "metrics/report.h"
+#include "rt/rcim_test.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+namespace {
+
+void run_rate(std::uint32_t hz, std::uint64_t samples, std::uint64_t seed) {
+  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                     config::KernelConfig::redhawk_1_4(), seed);
+  workload::StressKernel{}.install(p);
+
+  rt::RcimTest::Params rp;
+  // count = period / 400 ns tick.
+  rp.count = 2'500'000u / hz;
+  rp.samples = samples;
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RcimTest test(p.kernel(), p.rcim_driver(), rp);
+
+  p.boot();
+  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
+  test.start();
+  p.run_for(sim::from_seconds(static_cast<double>(samples) /
+                              static_cast<double>(hz) * 2) +
+            5_s);
+
+  std::printf("  %8u Hz %10s %10s %12s %10llu\n", hz,
+              sim::format_duration(test.latencies().min()).c_str(),
+              sim::format_duration(test.latencies().mean()).c_str(),
+              sim::format_duration(test.true_latencies().max()).c_str(),
+              static_cast<unsigned long long>(test.overruns()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const std::uint64_t samples = opt.scaled(150'000);
+
+  bench::print_header(
+      "Frequency sweep: shielded-CPU periodic response, 250 Hz - 10 kHz "
+      "(stress-kernel load)");
+  std::printf("samples per rate: %llu\n\n",
+              static_cast<unsigned long long>(samples));
+  std::printf("  %11s %10s %10s %12s %10s\n", "rate", "min", "avg", "max",
+              "overruns");
+  std::printf("  %s\n", std::string(58, '-').c_str());
+  std::uint64_t seed = opt.seed;
+  for (const std::uint32_t hz : {250u, 500u, 1000u, 2000u, 4000u, 8000u, 10000u}) {
+    run_rate(hz, samples, seed++);
+  }
+  std::printf(
+      "\nExpected shape: latency is rate-independent (the fixed wake-path\n"
+      "cost) and stays far below even the 100 us period at 10 kHz — the\n"
+      "\"very high frequencies\" use case of §2. Zero overruns throughout.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Holdoff tracer: worst interrupts-off and preemption-off intervals per
+// kernel configuration under the stress-kernel load.
+//
+// This is the measurement the low-latency patch effort optimised directly
+// (Morton's tracer; Williams' study [5]) and the quantity §6 argues bounds
+// worst-case response: "the worst-case time to respond to an interrupt is
+// going to be at least as long as the worst-case time that preemption is
+// disabled in the kernel."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "config/platform.h"
+#include "metrics/report.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+namespace {
+
+struct Row {
+  sim::Duration worst_irq_off;
+  sim::Duration worst_preempt_off;
+  sim::Duration p999_preempt_off;
+};
+
+Row run_case(const config::KernelConfig& kcfg, sim::Duration run_time,
+             std::uint64_t seed) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
+  workload::StressKernel{}.install(p);
+  p.boot();
+  p.run_for(run_time);
+  auto& a = p.kernel().auditor();
+  metrics::LatencyHistogram all_preempt_off;
+  for (int c = 0; c < p.kernel().ncpus(); ++c) {
+    all_preempt_off.merge(a.preempt_off(c));
+  }
+  return Row{a.worst_irq_off(), a.worst_preempt_off(),
+             all_preempt_off.count() > 0 ? all_preempt_off.percentile(0.999)
+                                         : 0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const auto run_time = static_cast<sim::Duration>(60.0e9 * opt.scale);
+
+  bench::print_header(
+      "Holdoff tracer: worst irq-off / preempt-off under stress-kernel");
+  std::printf("simulated time per kernel: %s\n\n",
+              sim::format_duration(run_time).c_str());
+  std::printf("  %-30s %14s %16s %16s\n", "kernel", "worst irq-off",
+              "worst preempt-off", "p99.9 preempt-off");
+  std::printf("  %s\n", std::string(80, '-').c_str());
+
+  struct Case {
+    const char* name;
+    config::KernelConfig cfg;
+  };
+  const Case cases[] = {
+      {"kernel.org 2.4.20", config::KernelConfig::vanilla_2_4_20()},
+      {"2.4 + preempt + low-latency", config::KernelConfig::patched_preempt_lowlat()},
+      {"RedHawk 1.4", config::KernelConfig::redhawk_1_4()},
+  };
+  std::uint64_t seed = opt.seed;
+  for (const auto& c : cases) {
+    const Row r = run_case(c.cfg, run_time, seed++);
+    std::printf("  %-30s %14s %16s %16s\n", c.name,
+                sim::format_duration(r.worst_irq_off).c_str(),
+                sim::format_duration(r.worst_preempt_off).c_str(),
+                sim::format_duration(r.p999_preempt_off).c_str());
+  }
+  std::printf(
+      "\nExpected shape: vanilla's preempt-off tail reaches tens of ms (its\n"
+      "critical sections); the patched kernels cap it near a millisecond or\n"
+      "below. irq-off stays short everywhere — handlers and irq-safe locks\n"
+      "are brief; it is the preempt-off tail that the patches attack.\n"
+      "Note: on the unpatched kernel the whole syscall is non-preemptible,\n"
+      "so its effective holdoff is even larger than the section tail shown.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// google-benchmark microbenchmarks of the simulator's own hot paths.
+//
+// These do not reproduce paper results; they keep the simulator honest:
+// event-queue throughput bounds how long the figure benches take, and the
+// per-component costs document where simulation time goes.
+#include <benchmark/benchmark.h>
+
+#include "config/platform.h"
+#include "kernel/goodness_scheduler.h"
+#include "kernel/o1_scheduler.h"
+#include "metrics/histogram.h"
+#include "rt/realfeel_test.h"
+#include "sim/engine.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    q.schedule_at(t += 10, [] {});
+    if (q.size() > 1000) q.pop().second();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    const auto id = q.schedule_at(t += 10, [] {});
+    q.cancel(id);
+    if (q.size() == 0 && t % 10000 == 0) {
+      // drop the dead prefix occasionally
+      q.schedule_at(t + 1, [] {});
+      q.pop();
+    }
+  }
+}
+BENCHMARK(BM_EventQueueCancel);
+
+void BM_RngBoundedPareto(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bounded_pareto(1.0, 1e6, 1.1));
+  }
+}
+BENCHMARK(BM_RngBoundedPareto);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  metrics::LatencyHistogram h;
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    h.add(rng.uniform_duration(0, 100_ms));
+  }
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_SchedulerPick(benchmark::State& state) {
+  const bool o1 = state.range(0) != 0;
+  const int ntasks = static_cast<int>(state.range(1));
+  auto cfg = o1 ? config::KernelConfig::redhawk_1_4()
+                : config::KernelConfig::vanilla_2_4_20();
+  std::unique_ptr<kernel::Scheduler> s;
+  if (o1) {
+    s = std::make_unique<kernel::O1Scheduler>(cfg, sim::Rng(1));
+  } else {
+    s = std::make_unique<kernel::GoodnessScheduler>(cfg, sim::Rng(1));
+  }
+  s->init(1);
+  std::vector<kernel::Task> tasks(static_cast<std::size_t>(ntasks));
+  int pid = 1;
+  for (auto& t : tasks) {
+    t.pid = pid++;
+    t.user_affinity = t.effective_affinity = hw::CpuMask(1);
+    t.state = kernel::TaskState::kReady;
+    t.timeslice_remaining = 60_ms;
+  }
+  for (auto& t : tasks) s->enqueue(t, 0);
+  for (auto _ : state) {
+    kernel::Task* t = s->pick_next(0);
+    benchmark::DoNotOptimize(t);
+    if (t != nullptr) {
+      t->state = kernel::TaskState::kReady;
+      s->enqueue(*t, 0);
+    }
+  }
+}
+BENCHMARK(BM_SchedulerPick)
+    ->Args({0, 4})
+    ->Args({0, 64})
+    ->Args({1, 4})
+    ->Args({1, 64});
+
+void BM_SimulatedSecondUnderStressKernel(benchmark::State& state) {
+  // Wall-clock cost of one simulated second of the Fig-5 scenario.
+  for (auto _ : state) {
+    state.PauseTiming();
+    config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                       config::KernelConfig::vanilla_2_4_20(), 5);
+    workload::StressKernel{}.install(p);
+    rt::RealfeelTest::Params rp;
+    rp.samples = ~std::uint64_t{0};
+    rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+    p.boot();
+    test.start();
+    state.ResumeTiming();
+    p.run_for(1_s);
+    benchmark::DoNotOptimize(p.engine().events_executed());
+  }
+}
+BENCHMARK(BM_SimulatedSecondUnderStressKernel)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// The POSIX-timers patch (§4): periodic-wakeup quality without a device.
+//
+// A 100 Hz SCHED_FIFO task sleeps on a kernel periodic timer. On stock 2.4
+// (HZ=100, jiffy timer wheel) expirations quantize to 10 ms boundaries and
+// the achievable period floor is a whole jiffy; with the high-res POSIX
+// timers patch the timer fires where it was asked. The table reports the
+// inter-wakeup error distribution for several requested periods.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "config/platform.h"
+#include "metrics/histogram.h"
+#include "metrics/report.h"
+#include "workload/workload.h"
+
+using namespace sim::literals;
+
+namespace {
+
+struct Row {
+  sim::Duration avg_err;
+  sim::Duration max_err;
+  std::uint64_t wakeups;
+};
+
+Row run_case(const config::KernelConfig& kcfg, sim::Duration period,
+             sim::Duration run_time, std::uint64_t seed) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
+  auto& k = p.kernel();
+  const auto wq = k.create_wait_queue("periodic");
+
+  struct State {
+    metrics::LatencyHistogram err;
+    sim::Time prev = 0;
+    bool have_prev = false;
+  };
+  auto st = std::make_shared<State>();
+
+  kernel::Kernel::TaskParams tp;
+  tp.name = "periodic";
+  tp.policy = kernel::SchedPolicy::kFifo;
+  tp.rt_priority = 90;
+  tp.mlocked = true;
+  workload::spawn(k, std::move(tp),
+                  [st, wq, period](kernel::Kernel& kk,
+                                   kernel::Task&) -> kernel::Action {
+                    const sim::Time now = kk.now();
+                    if (st->have_prev) {
+                      const sim::Duration gap = now - st->prev;
+                      st->err.add(gap > period ? gap - period
+                                               : period - gap);
+                    }
+                    st->prev = now;
+                    st->have_prev = true;
+                    return kernel::SyscallAction{
+                        "timer_wait",
+                        kernel::ProgramBuilder{}.block(wq).build()};
+                  });
+
+  p.boot();
+  k.arm_periodic_timer(wq, period);
+  p.run_for(run_time);
+  return Row{st->err.mean(), st->err.max(), st->err.count()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const auto run_time =
+      static_cast<sim::Duration>(30.0e9 * opt.scale);  // 30 s default
+
+  bench::print_header(
+      "POSIX timers patch: periodic wakeup error, stock jiffy wheel vs "
+      "high-res");
+  std::printf("  %-12s %-22s %12s %12s %10s\n", "period", "kernel",
+              "avg |error|", "max |error|", "wakeups");
+  std::printf("  %s\n", std::string(74, '-').c_str());
+  std::uint64_t seed = opt.seed;
+  for (const sim::Duration period : {3_ms, 7_ms, 10_ms, 25_ms}) {
+    for (const bool hi_res : {false, true}) {
+      const auto& cfg = hi_res ? config::KernelConfig::redhawk_1_4()
+                               : config::KernelConfig::vanilla_2_4_20();
+      const Row r = run_case(cfg, period, run_time, seed++);
+      std::printf("  %-12s %-22s %12s %12s %10llu\n",
+                  sim::format_duration(period).c_str(),
+                  hi_res ? "RedHawk (high-res)" : "2.4.20 (jiffy wheel)",
+                  sim::format_duration(r.avg_err).c_str(),
+                  sim::format_duration(r.max_err).c_str(),
+                  static_cast<unsigned long long>(r.wakeups));
+    }
+  }
+  std::printf(
+      "\nExpected shape: the jiffy wheel turns every requested period into\n"
+      "ceil(period, 10 ms) with millisecond-scale error; the high-res\n"
+      "kernel's error is the wake-path cost (microseconds), independent of\n"
+      "period — the reason the POSIX timers patch is part of RedHawk (§4).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// A data-acquisition front end — the "tasks that require guaranteed
+// interrupt response time" use case from §2.
+//
+// An instrument interrupts at 2048 Hz through /dev/rtc; each interrupt's
+// sample must be collected before the next one overwrites the hardware
+// latch (one-deep buffer, as on real ADC front ends). A collection that
+// arrives later than one period loses samples. The example compares a
+// stock 2.4.20 kernel against a shielded RedHawk CPU and reports loss.
+#include <cstdio>
+
+#include "config/platform.h"
+#include "rt/realfeel_test.h"
+#include "workload/disk_noise.h"
+#include "workload/scp_copy.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+namespace {
+
+struct DaqResult {
+  std::uint64_t samples;
+  std::uint64_t lost;   // latched values overwritten before collection
+  sim::Duration worst;
+};
+
+DaqResult run_case(const config::KernelConfig& kcfg, bool shield,
+                   std::uint64_t samples, std::uint64_t seed) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
+  // The lab machine is also someone's desktop: full stress load.
+  workload::StressKernel{}.install(p);
+
+  rt::RealfeelTest::Params rp;
+  rp.rate_hz = 2048;
+  rp.samples = samples;
+  if (shield) rp.affinity = hw::CpuMask::single(1);
+  rt::RealfeelTest daq(p.kernel(), p.rtc_driver(), rp);
+
+  p.boot();
+  if (shield) p.shield().dedicate_cpu(1, daq.task(), p.rtc_device().irq());
+  daq.start();
+  p.run_for(sim::from_seconds(static_cast<double>(samples) / 2048.0 * 2) + 5_s);
+
+  // A gap-latency above one period means at least one latch overwrite; the
+  // number of lost samples is the number of whole periods skipped.
+  const sim::Duration period = p.rtc_device().nominal_period();
+  std::uint64_t lost = 0;
+  for (const auto& b : daq.latencies().nonzero_buckets()) {
+    if (b.lo >= period) {
+      lost += b.count * (b.lo / period);
+    }
+  }
+  return DaqResult{daq.collected(), lost, daq.latencies().max()};
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t samples = 300'000;  // ~2.5 simulated minutes
+  std::printf(
+      "2048 Hz instrument, one-deep hardware latch, stress-kernel load\n\n");
+  std::printf("  %-34s %10s %10s %12s\n", "configuration", "collected", "lost",
+              "worst gap");
+  std::printf("  %s\n", std::string(70, '-').c_str());
+
+  const auto vanilla = run_case(config::KernelConfig::vanilla_2_4_20(), false,
+                                samples, 99);
+  std::printf("  %-34s %10llu %10llu %12s\n", "kernel.org 2.4.20",
+              static_cast<unsigned long long>(vanilla.samples),
+              static_cast<unsigned long long>(vanilla.lost),
+              sim::format_duration(vanilla.worst).c_str());
+
+  const auto shielded = run_case(config::KernelConfig::redhawk_1_4(), true,
+                                 samples, 99);
+  std::printf("  %-34s %10llu %10llu %12s\n", "RedHawk 1.4, shielded CPU",
+              static_cast<unsigned long long>(shielded.samples),
+              static_cast<unsigned long long>(shielded.lost),
+              sim::format_duration(shielded.worst).c_str());
+
+  std::printf(
+      "\nOn the stock kernel the worst-case response (~tens of ms) swallows\n"
+      "dozens of consecutive samples; the shielded CPU collects every one.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Mixed criticality on a quad-CPU box: two independent real-time domains,
+// each with its own dedicated shielded CPU, coexisting with a loaded
+// general-purpose half of the machine — §2's "one or more shielded CPUs",
+// end to end.
+//
+// Domain A: a 1 kHz motion controller on the RCIM periodic timer (CPU 2).
+// Domain B: an event responder on an RCIM external line (CPU 3), fed by an
+//           external sensor pulsing every few milliseconds.
+// CPUs 0-1 run stress-kernel plus X11 as the "desktop half".
+#include <cstdio>
+#include <memory>
+
+#include "kernel/stats_report.h"
+#include "shieldsim.h"
+
+using namespace sim::literals;
+
+namespace {
+
+struct Domain {
+  metrics::LatencyHistogram latency;
+  std::uint64_t cycles = 0;
+};
+
+}  // namespace
+
+int main() {
+  config::Platform p(config::MachineConfig::quad_p4_xeon_2000_rcim(),
+                     config::KernelConfig::redhawk_1_4(), 4242);
+  workload::StressKernel{}.install(p);
+  workload::X11Perf{}.install(p);
+  auto& k = p.kernel();
+  auto& rcim = p.rcim_device();
+  auto& drv = p.rcim_driver();
+
+  // Domain A: periodic motion control on CPU 2.
+  auto dom_a = std::make_shared<Domain>();
+  kernel::Kernel::TaskParams tpa;
+  tpa.name = "motion-ctl";
+  tpa.policy = kernel::SchedPolicy::kFifo;
+  tpa.rt_priority = 97;
+  tpa.affinity = hw::CpuMask::single(2);
+  tpa.mlocked = true;
+  workload::spawn(k, std::move(tpa),
+                  [dom_a, &rcim, &drv](kernel::Kernel&,
+                                       kernel::Task&) -> kernel::Action {
+                    static thread_local int phase = 0;
+                    if (phase == 0) {
+                      phase = 1;
+                      return kernel::SyscallAction{"ioctl(RCIM_WAIT)",
+                                                   drv.wait_ioctl_program()};
+                    }
+                    phase = 0;
+                    dom_a->latency.add(rcim.elapsed_in_cycle());
+                    dom_a->cycles++;
+                    return kernel::ComputeAction{150_us, 0.3};  // control law
+                  });
+
+  // Domain B: sensor-event responder on CPU 3.
+  auto dom_b = std::make_shared<Domain>();
+  kernel::Kernel::TaskParams tpb;
+  tpb.name = "event-resp";
+  tpb.policy = kernel::SchedPolicy::kFifo;
+  tpb.rt_priority = 96;
+  tpb.affinity = hw::CpuMask::single(3);
+  tpb.mlocked = true;
+  workload::spawn(
+      k, std::move(tpb),
+      [dom_b, &rcim, &drv](kernel::Kernel& kk, kernel::Task&) -> kernel::Action {
+        static thread_local bool waited = false;
+        if (waited) {
+          dom_b->latency.add(kk.now() - rcim.last_external_edge(0));
+          dom_b->cycles++;
+        }
+        waited = true;
+        return kernel::SyscallAction{"ioctl(RCIM_EXT0)",
+                                     drv.external_wait_ioctl_program(0)};
+      });
+
+  p.boot();
+  // Shield CPUs 2 and 3; the RCIM interrupt may be serviced by either.
+  k.procfs().write("/proc/irq/5/smp_affinity", "c");  // CPUs {2,3}
+  p.shield().shield_all(hw::CpuMask(0b1100));
+  rcim.program_periodic(2'500);  // 1 kHz for domain A
+
+  // External sensor: a pulse every 2-5 ms.
+  struct Sensor {
+    static void arm(sim::Engine& e, hw::RcimDevice& dev,
+                    std::shared_ptr<sim::Rng> rng) {
+      e.schedule(rng->uniform_duration(2_ms, 5_ms), [&e, &dev, rng] {
+        dev.trigger_external(0);
+        arm(e, dev, rng);
+      });
+    }
+  };
+  auto rng = std::make_shared<sim::Rng>(p.engine().rng().split());
+  Sensor::arm(p.engine(), rcim, rng);
+
+  const sim::Duration run_time = 60_s;
+  p.run_for(run_time);
+
+  std::printf("quad Xeon, CPUs 2+3 shielded, stress-kernel + X11 on CPUs 0-1\n");
+  std::printf("ran %s of simulated time\n\n",
+              sim::format_duration(run_time).c_str());
+  std::printf("  %-22s %10s %10s %10s %12s\n", "domain", "cycles", "min",
+              "avg", "worst");
+  std::printf("  %s\n", std::string(70, '-').c_str());
+  std::printf("  %-22s %10llu %10s %10s %12s\n", "A: 1 kHz motion ctl",
+              static_cast<unsigned long long>(dom_a->cycles),
+              sim::format_duration(dom_a->latency.min()).c_str(),
+              sim::format_duration(dom_a->latency.mean()).c_str(),
+              sim::format_duration(dom_a->latency.max()).c_str());
+  std::printf("  %-22s %10llu %10s %10s %12s\n", "B: sensor responder",
+              static_cast<unsigned long long>(dom_b->cycles),
+              sim::format_duration(dom_b->latency.min()).c_str(),
+              sim::format_duration(dom_b->latency.mean()).c_str(),
+              sim::format_duration(dom_b->latency.max()).c_str());
+
+  std::printf("\nCPU activity:\n%s",
+              kernel::format_cpu_table(p.kernel()).c_str());
+  std::printf(
+      "\nBoth domains keep tens-of-microseconds worst cases while the other\n"
+      "half of the machine runs flat out — independent shields compose.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: shield a CPU, bind a real-time task and its interrupt to it,
+// and measure worst-case interrupt response under full system load.
+//
+//   $ ./examples/quickstart
+//
+// This is the paper's core recipe (§3, §6.3) in ~40 lines of library use.
+#include <cstdio>
+
+#include "config/platform.h"
+#include "metrics/report.h"
+#include "rt/rcim_test.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+int main() {
+  // 1. A dual-CPU machine with the RCIM timer card, running RedHawk 1.4.
+  config::Platform machine(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                           config::KernelConfig::redhawk_1_4(), /*seed=*/42);
+
+  // 2. Something to be disturbed by: the full stress-kernel suite.
+  workload::StressKernel{}.install(machine);
+
+  // 3. A SCHED_FIFO measurement task that waits on the RCIM periodic timer.
+  rt::RcimTest::Params params;
+  params.count = 2'500;    // 1 ms period
+  params.samples = 200'000;
+  params.affinity = hw::CpuMask::single(1);
+  rt::RcimTest probe(machine.kernel(), machine.rcim_driver(), params);
+
+  // 4. Boot, then dedicate CPU 1: pin the task and the RCIM interrupt to
+  //    it and shield it from processes, interrupts and the local timer.
+  machine.boot();
+  machine.shield().dedicate_cpu(1, probe.task(), machine.rcim_device().irq());
+  probe.start();
+
+  // 5. Run five simulated minutes.
+  machine.run_for(5 * 60 * sim::kSecond);
+
+  std::printf("shielded CPU 1, %llu interrupts measured\n",
+              static_cast<unsigned long long>(probe.collected()));
+  std::fputs(metrics::min_avg_max_line(probe.latencies()).c_str(), stdout);
+  std::fputs(metrics::ascii_histogram(probe.latencies(), 50, 8).c_str(),
+             stdout);
+  std::printf("\n(the paper's Fig 7 guarantee: worst case < 30 us)\n");
+  return 0;
+}

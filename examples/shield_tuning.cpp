@@ -1,0 +1,75 @@
+// Administering shields the way a RedHawk sysadmin would: through the
+// /proc text interface, while the system runs — demonstrating §3's
+// "dynamically enabled" property and the affinity-interaction semantics.
+#include <cstdio>
+#include <string>
+
+#include "config/platform.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+namespace {
+
+void show(config::Platform& p, const std::string& when) {
+  auto& fs = p.kernel().procfs();
+  std::printf("\n-- %s --\n", when.c_str());
+  for (const char* f : {"/proc/shield/procs", "/proc/shield/irqs",
+                        "/proc/shield/ltmr"}) {
+    std::printf("  %-24s %s", f, fs.read(f).value_or("?\n").c_str());
+  }
+  std::printf("  %-24s %s", "/proc/irq/8/smp_affinity",
+              fs.read("/proc/irq/8/smp_affinity").value_or("?\n").c_str());
+  std::printf("  local timer CPU1:        %s\n",
+              p.kernel().local_timer().enabled(1) ? "ticking" : "off");
+  int on_cpu1 = 0;
+  for (const auto& t : p.kernel().tasks()) {
+    if (t->state != kernel::TaskState::kExited &&
+        t->effective_affinity.test(1) && !t->name.starts_with("ksoftirqd")) {
+      ++on_cpu1;
+    }
+  }
+  std::printf("  tasks allowed on CPU1:   %d\n", on_cpu1);
+}
+
+}  // namespace
+
+int main() {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                     config::KernelConfig::redhawk_1_4(), 7);
+  workload::StressKernel{}.install(p);
+  p.boot();
+  auto& fs = p.kernel().procfs();
+
+  p.run_for(1_s);
+  show(p, "before shielding (system under stress-kernel load)");
+
+  // Step 1: steer the RTC interrupt to CPU 1 — the "only shielded CPUs"
+  // affinity that opts the interrupt onto the shield.
+  fs.write("/proc/irq/8/smp_affinity", "2\n");
+
+  // Step 2: shield CPU 1 from processes, maskable interrupts, and the
+  // local timer — three separate writes, as the real files are separate.
+  fs.write("/proc/shield/procs", "2\n");
+  fs.write("/proc/shield/irqs", "2\n");
+  fs.write("/proc/shield/ltmr", "2\n");
+  p.run_for(1_s);
+  show(p, "after echo 2 > /proc/shield/{procs,irqs,ltmr}");
+
+  // Step 3: tuning experiment — drop only the local-timer shield (say the
+  // application wants CPU-time accounting back, §3's trade-off).
+  fs.write("/proc/shield/ltmr", "0\n");
+  p.run_for(1_s);
+  show(p, "after echo 0 > /proc/shield/ltmr (accounting restored)");
+
+  // Step 4: drop everything; the system returns to normal symmetric use.
+  fs.write("/proc/shield/procs", "0\n");
+  fs.write("/proc/shield/irqs", "0\n");
+  p.run_for(1_s);
+  show(p, "after unshielding");
+
+  std::printf(
+      "\nEverything above happened on a live, loaded system — shields are\n"
+      "reconfigured dynamically, no reboot, exactly as §3 describes.\n");
+  return 0;
+}

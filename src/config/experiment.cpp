@@ -1,0 +1,199 @@
+#include "config/experiment.h"
+
+#include <sstream>
+
+#include "metrics/report.h"
+#include "rt/determinism_test.h"
+#include "rt/rcim_test.h"
+#include "rt/realfeel_test.h"
+#include "workload/disk_noise.h"
+#include "workload/scp_copy.h"
+#include "workload/stress_kernel.h"
+#include "workload/ttcp.h"
+#include "workload/x11perf.h"
+
+namespace config {
+
+using namespace sim::literals;
+
+std::string ExperimentResult::render() const {
+  std::ostringstream os;
+  os << "== " << name << " ==\n" << description << "\n";
+  if (latencies.count() == 0) {
+    os << "(no samples)\n";
+    return os.str();
+  }
+  if (ideal > 0) {
+    os << metrics::determinism_legend(ideal, ideal + latencies.max()) << "\n";
+  } else {
+    const auto thresholds = metrics::figure5_thresholds();
+    os << metric_name << ":\n"
+       << metrics::cumulative_bucket_table(latencies, thresholds);
+  }
+  os << metrics::ascii_histogram(latencies, 50, 8);
+  return os.str();
+}
+
+namespace {
+
+ExperimentResult run_determinism(const std::string& name,
+                                 const std::string& desc,
+                                 const KernelConfig& kcfg,
+                                 std::optional<bool> ht, bool shield,
+                                 std::uint64_t seed, double scale) {
+  Platform p(MachineConfig::dual_p4_xeon_1400(), kcfg, seed, ht);
+  workload::ScpCopy{}.install(p);
+  workload::DiskNoise{}.install(p);
+  rt::DeterminismTest::Params dp;
+  dp.iterations = std::max(1, static_cast<int>(60 * scale));
+  if (shield) dp.affinity = hw::CpuMask::single(1);
+  rt::DeterminismTest test(p.kernel(), dp);
+  p.boot();
+  if (shield) p.shield().shield_all(hw::CpuMask::single(1));
+  p.run_for(dp.loop_work * static_cast<sim::Duration>(dp.iterations) * 2 +
+            10_s);
+  ExperimentResult r;
+  r.name = name;
+  r.description = desc;
+  r.latencies = test.excess_histogram();
+  r.metric_name = "loop-time excess over ideal";
+  r.ideal = test.ideal();
+  r.events = p.engine().events_executed();
+  return r;
+}
+
+ExperimentResult run_realfeel(const std::string& name, const std::string& desc,
+                              const KernelConfig& kcfg, bool shield,
+                              std::uint64_t seed, double scale) {
+  Platform p(MachineConfig::dual_p3_xeon_933(), kcfg, seed);
+  workload::StressKernel{}.install(p);
+  rt::RealfeelTest::Params rp;
+  rp.samples = std::max<std::uint64_t>(
+      1000, static_cast<std::uint64_t>(2'000'000 * scale));
+  if (shield) rp.affinity = hw::CpuMask::single(1);
+  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+  p.boot();
+  if (shield) p.shield().dedicate_cpu(1, test.task(), p.rtc_device().irq());
+  test.start();
+  p.run_for(sim::from_seconds(static_cast<double>(rp.samples) / 2048.0 * 2) +
+            5_s);
+  ExperimentResult r;
+  r.name = name;
+  r.description = desc;
+  r.latencies = test.latencies();
+  r.metric_name = "realfeel gap latency";
+  r.events = p.engine().events_executed();
+  return r;
+}
+
+ExperimentResult run_rcim(const std::string& name, const std::string& desc,
+                          std::uint64_t seed, double scale) {
+  Platform p(MachineConfig::dual_p4_xeon_2000_rcim(),
+             KernelConfig::redhawk_1_4(), seed);
+  workload::StressKernel{}.install(p);
+  workload::X11Perf{}.install(p);
+  workload::TtcpEthernet{}.install(p);
+  rt::RcimTest::Params rp;
+  rp.samples = std::max<std::uint64_t>(
+      1000, static_cast<std::uint64_t>(2'000'000 * scale));
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RcimTest test(p.kernel(), p.rcim_driver(), rp);
+  p.boot();
+  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
+  test.start();
+  p.run_for(sim::from_seconds(static_cast<double>(rp.samples) / 1000.0 * 2) +
+            5_s);
+  ExperimentResult r;
+  r.name = name;
+  r.description = desc;
+  r.latencies = test.latencies();
+  r.metric_name = "RCIM count-register latency";
+  r.events = p.engine().events_executed();
+  return r;
+}
+
+ExperimentRegistry make_builtin() {
+  ExperimentRegistry reg;
+  reg.add({"fig1",
+           "determinism, kernel.org 2.4.20, hyperthreading on (paper: 26.17% jitter)",
+           [](std::uint64_t seed, double scale) {
+             return run_determinism(
+                 "fig1", "vanilla 2.4.20 + HT, scp+disknoise load",
+                 KernelConfig::vanilla_2_4_20(), std::nullopt, false, seed,
+                 scale);
+           }});
+  reg.add({"fig2",
+           "determinism, RedHawk 1.4 shielded CPU (paper: 1.87% jitter)",
+           [](std::uint64_t seed, double scale) {
+             return run_determinism("fig2", "RedHawk 1.4, CPU 1 fully shielded",
+                                    KernelConfig::redhawk_1_4(), std::nullopt,
+                                    true, seed, scale);
+           }});
+  reg.add({"fig3",
+           "determinism, RedHawk 1.4 unshielded (paper: 14.82% jitter)",
+           [](std::uint64_t seed, double scale) {
+             return run_determinism("fig3", "RedHawk 1.4, no shielding",
+                                    KernelConfig::redhawk_1_4(), std::nullopt,
+                                    false, seed, scale);
+           }});
+  reg.add({"fig4",
+           "determinism, kernel.org 2.4.20, hyperthreading off (paper: 13.15%)",
+           [](std::uint64_t seed, double scale) {
+             return run_determinism("fig4", "vanilla 2.4.20, HT disabled",
+                                    KernelConfig::vanilla_2_4_20(), false,
+                                    false, seed, scale);
+           }});
+  reg.add({"fig5",
+           "realfeel response, kernel.org 2.4.20 (paper: max 92.3 ms)",
+           [](std::uint64_t seed, double scale) {
+             return run_realfeel("fig5", "vanilla 2.4.20, stress-kernel load",
+                                 KernelConfig::vanilla_2_4_20(), false, seed,
+                                 scale);
+           }});
+  reg.add({"fig6",
+           "realfeel response, RedHawk 1.4 shielded CPU (paper: max 0.565 ms)",
+           [](std::uint64_t seed, double scale) {
+             return run_realfeel("fig6", "RedHawk 1.4, CPU 1 shielded",
+                                 KernelConfig::redhawk_1_4(), true, seed,
+                                 scale);
+           }});
+  reg.add({"fig7",
+           "RCIM response, shielded CPU (paper: 11/11.3/27 us min/avg/max)",
+           [](std::uint64_t seed, double scale) {
+             return run_rcim(
+                 "fig7", "RedHawk 1.4 + RCIM, stress-kernel + x11perf + ttcp",
+                 seed, scale);
+           }});
+  reg.add({"preempt-lowlat",
+           "realfeel response, 2.4 + preempt + low-latency (the 1.2 ms claim [5])",
+           [](std::uint64_t seed, double scale) {
+             return run_realfeel("preempt-lowlat",
+                                 "2.4.20 + preempt + low-latency patches",
+                                 KernelConfig::patched_preempt_lowlat(), false,
+                                 seed, scale);
+           }});
+  return reg;
+}
+
+}  // namespace
+
+const ExperimentRegistry& ExperimentRegistry::builtin() {
+  static const ExperimentRegistry reg = make_builtin();
+  return reg;
+}
+
+const Experiment* ExperimentRegistry::find(const std::string& name) const {
+  for (const auto& e : experiments_) {
+    if (e.name() == name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(experiments_.size());
+  for (const auto& e : experiments_) out.push_back(e.name());
+  return out;
+}
+
+}  // namespace config

@@ -1,0 +1,69 @@
+#include "config/kernel_config.h"
+
+namespace config {
+
+using namespace sim::literals;
+
+KernelConfig KernelConfig::vanilla_2_4_20() {
+  KernelConfig c;
+  c.name = "kernel.org 2.4.20";
+  c.scheduler = SchedulerKind::kGoodness24;
+  c.preempt_kernel = false;
+  c.low_latency = false;
+  c.softirq_daemon_offload = false;
+  c.bkl_ioctl_flag = false;
+  c.shield_support = false;
+  c.rcim_driver = false;
+  c.posix_timers = false;
+  c.default_hyperthreading = true;  // §5.2: "this version of Linux enables hyperthreading"
+  c.section_min = 2_us;
+  c.section_max = 55_ms;
+  c.section_alpha = 1.05;
+  c.syscall_body_max = 90_ms;
+  c.sched_pick_per_task = 150_ns;
+  return c;
+}
+
+KernelConfig KernelConfig::redhawk_1_4() {
+  KernelConfig c;
+  c.name = "RedHawk 1.4";
+  c.scheduler = SchedulerKind::kO1;
+  c.preempt_kernel = true;
+  c.low_latency = true;
+  c.softirq_daemon_offload = true;
+  c.bkl_ioctl_flag = true;
+  c.shield_support = true;
+  c.rcim_driver = true;
+  c.posix_timers = true;
+  c.default_hyperthreading = false;  // "hyperthreading is disabled by default in RedHawk"
+  // Low-latency patches + Concurrent's "further low-latency work" (§4):
+  // shorter sections than the stock Morton patch set.
+  c.section_min = 1_us;
+  c.section_max = 450_us;
+  c.section_alpha = 1.2;
+  // Preemptible kernel: body length no longer gates latency, but keep it
+  // realistic.
+  c.syscall_body_max = 90_ms;
+  c.sched_pick_per_task = 0;  // O(1)
+  // RedHawk still drains normal bottom-half volumes in interrupt context —
+  // Fig 3 shows an unshielded RedHawk CPU suffers nearly vanilla jitter —
+  // but caps a runaway storm and kicks the rest to ksoftirqd.
+  c.softirq_budget_in_irq = 1_ms;
+  // Tick work was also slimmed down.
+  c.tick_cost_min = 1_us;
+  c.tick_cost_max = 4_us;
+  return c;
+}
+
+KernelConfig KernelConfig::patched_preempt_lowlat() {
+  KernelConfig c = vanilla_2_4_20();
+  c.name = "2.4 + preempt + low-latency";
+  c.preempt_kernel = true;
+  c.low_latency = true;
+  c.section_min = 1_us;
+  c.section_max = 1200_us;
+  c.section_alpha = 1.3;
+  return c;
+}
+
+}  // namespace config

@@ -1,0 +1,126 @@
+// Kernel configuration: which patches are applied and what the code paths
+// cost.
+//
+// The paper compares kernel.org 2.4.20 against RedHawk 1.4 (2.4.20 + the
+// MontaVista preemption patch + Morton low-latency patches + O(1) scheduler
+// + POSIX timers + softirq changes + BKL reduction + shielding + RCIM).
+// Every one of those deltas is a field here, so benches can also ablate them
+// one at a time.
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+
+namespace config {
+
+enum class SchedulerKind {
+  kGoodness24,  ///< 2.4 global-runqueue goodness() scheduler, O(n) pick
+  kO1,          ///< Molnar O(1) per-CPU bitmap scheduler
+};
+
+struct KernelConfig {
+  std::string name = "kernel";
+
+  // ---- applied patches -------------------------------------------------
+  SchedulerKind scheduler = SchedulerKind::kGoodness24;
+  /// MontaVista preemption patch: kernel code outside critical sections is
+  /// preemptible. Without it a syscall runs to completion or until it
+  /// blocks before any other task can run on that CPU.
+  bool preempt_kernel = false;
+  /// Morton low-latency patches: the longest critical sections are broken
+  /// up. Modelled as a much shorter tail on section hold times.
+  bool low_latency = false;
+  /// RedHawk softirq change: bottom halves beyond a small budget run in
+  /// ksoftirqd (scheduled) instead of borrowing interrupt context.
+  bool softirq_daemon_offload = false;
+  /// RedHawk change to generic ioctl: a multithreaded driver can set a flag
+  /// and the kernel will not take the BKL around its ioctl routine (§6.3).
+  bool bkl_ioctl_flag = false;
+  /// `/proc/shield` support (the paper's core contribution).
+  bool shield_support = false;
+  /// RCIM driver present.
+  bool rcim_driver = false;
+  /// High-resolution POSIX timers patch (sleep wakeups are not rounded up
+  /// to the next 10 ms tick).
+  bool posix_timers = false;
+  /// Whether this kernel enables hyperthreading by default (§5.2: vanilla
+  /// enables it, RedHawk disables it).
+  bool default_hyperthreading = false;
+
+  // ---- timer -----------------------------------------------------------
+  sim::Duration local_timer_period = 10 * sim::kMillisecond;  ///< HZ=100
+  /// Local timer handler cost: time accounting, profiling, resource limits.
+  sim::Duration tick_cost_min = 2 * sim::kMicrosecond;
+  sim::Duration tick_cost_max = 7 * sim::kMicrosecond;
+
+  // ---- path costs --------------------------------------------------------
+  sim::Duration syscall_entry_cost = 300;        // ns
+  sim::Duration syscall_exit_cost = 400;         // ns
+  sim::Duration ctx_switch_cost = 3 * sim::kMicrosecond;
+  sim::Duration irq_entry_cost = 900;            // ns: vector dispatch + ack
+  sim::Duration irq_exit_cost = 600;             // ns
+  /// Scheduler pick cost: base plus per-runnable-task scan (the goodness
+  /// scheduler is O(n); the O(1) scheduler sets per_task to zero).
+  sim::Duration sched_pick_base = 1 * sim::kMicrosecond;
+  sim::Duration sched_pick_per_task = 150;       // ns
+
+  // ---- critical sections -------------------------------------------------
+  /// Spinlock/preempt-off section hold times are sampled from a bounded
+  /// Pareto: most sections are short, the tail is what kills latency.
+  /// Vanilla 2.4 has sections of tens of ms under filesystem stress; the
+  /// low-latency patches cap the tail near a millisecond.
+  sim::Duration section_min = 2 * sim::kMicrosecond;
+  sim::Duration section_max = 55 * sim::kMillisecond;
+  double section_alpha = 1.05;
+
+  // ---- syscall body (non-critical kernel work) ---------------------------
+  /// Without the preemption patch the whole syscall is non-preemptible, so
+  /// the *total* in-kernel time matters too. Bodies are sampled from a
+  /// bounded Pareto with this tail — the FS/CRASHME stress produces the
+  /// occasional ~90 ms in-kernel stretch behind Fig 5's worst case.
+  sim::Duration syscall_body_max = 90 * sim::kMillisecond;
+  /// Most syscall bodies are exponential around their typical value; a
+  /// small fraction are the pathological long operations (giant truncates,
+  /// buffer-cache walks) drawn from a near-flat Pareto tail.
+  double body_long_probability = 0.0015;
+  double body_long_alpha = 0.9;
+  /// Probability that a file-descriptor syscall path takes a *globally
+  /// contended* fs-layer lock (dcache hash collision, files_lock, ...).
+  /// Rare in absolute terms, but when it happens while a perforated holder
+  /// is mid-section, the §6.2 tail appears. Calibrated for the bench
+  /// suite's default sample counts (see DESIGN.md).
+  double fd_path_contended_lock_probability = 1.5e-3;
+
+  // ---- softirq ------------------------------------------------------------
+  /// Max bottom-half work executed in interrupt context per irq exit.
+  /// Vanilla 2.4 drains everything (modelled as a very large budget);
+  /// RedHawk caps it and kicks the remainder to ksoftirqd.
+  sim::Duration softirq_budget_in_irq = 1000 * sim::kMillisecond;
+  int softirq_max_restart = 10;
+  /// ksoftirqd drains work in chunks of this size between preemption points.
+  sim::Duration ksoftirqd_chunk = 250 * sim::kMicrosecond;
+
+  // ---- paging ---------------------------------------------------------------
+  /// Mean CPU time between minor page faults for tasks that have NOT locked
+  /// their memory (mlockall). Locked tasks never fault — the determinism
+  /// feature §5 credits stock Linux with.
+  sim::Duration fault_mean_interval = 25 * sim::kMillisecond;
+  sim::Duration fault_cost_min = 3 * sim::kMicrosecond;
+  sim::Duration fault_cost_max = 25 * sim::kMicrosecond;
+
+  // ---- scheduling ---------------------------------------------------------
+  sim::Duration other_timeslice = 60 * sim::kMillisecond;
+  sim::Duration rr_timeslice = 100 * sim::kMillisecond;
+
+  // ---- presets -------------------------------------------------------------
+  /// kernel.org 2.4.20 exactly as shipped.
+  static KernelConfig vanilla_2_4_20();
+  /// RedHawk Linux 1.4.
+  static KernelConfig redhawk_1_4();
+  /// 2.4.20 + preemption + low-latency only (the "Red Hat based system"
+  /// configuration that demonstrated 1.2 ms worst case, per §6 and [5]).
+  static KernelConfig patched_preempt_lowlat();
+};
+
+}  // namespace config

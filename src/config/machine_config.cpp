@@ -1,0 +1,49 @@
+#include "config/machine_config.h"
+
+namespace config {
+
+MachineConfig MachineConfig::dual_p4_xeon_1400() {
+  MachineConfig m;
+  m.name = "dual 1.4GHz P4 Xeon";
+  m.physical_cores = 2;
+  m.hyperthreading_capable = true;
+  m.cpu_ghz = 1.4;
+  m.has_rcim = false;
+  return m;
+}
+
+MachineConfig MachineConfig::dual_p3_xeon_933() {
+  MachineConfig m;
+  m.name = "dual 933MHz P3 Xeon";
+  m.physical_cores = 2;
+  m.hyperthreading_capable = false;  // P3 has no hyperthreading
+  m.cpu_ghz = 0.933;
+  m.has_rcim = false;
+  // Older core, slightly noisier memory system.
+  m.memory.noise_sigma = 0.002;
+  return m;
+}
+
+MachineConfig MachineConfig::dual_p4_xeon_2000_rcim() {
+  MachineConfig m;
+  m.name = "dual 2.0GHz P4 Xeon + RCIM";
+  m.physical_cores = 2;
+  m.hyperthreading_capable = true;
+  m.cpu_ghz = 2.0;
+  m.has_rcim = true;
+  return m;
+}
+
+MachineConfig MachineConfig::quad_p4_xeon_2000_rcim() {
+  MachineConfig m;
+  m.name = "quad 2.0GHz P4 Xeon + RCIM";
+  m.physical_cores = 4;
+  m.hyperthreading_capable = true;
+  m.cpu_ghz = 2.0;
+  m.has_rcim = true;
+  // Four sockets on one front-side bus: proportionally more contention.
+  m.memory.bus_contention_coeff = 0.30;
+  return m;
+}
+
+}  // namespace config

@@ -1,0 +1,33 @@
+// Machine (testbed) descriptions.
+//
+// The paper uses three dual-Xeon boxes; each is a preset here. Whether
+// hyperthreading is *used* is a kernel property (§5.2: vanilla enables it,
+// RedHawk disables it), so the machine only records capability.
+#pragma once
+
+#include <string>
+
+#include "hw/memory_system.h"
+
+namespace config {
+
+struct MachineConfig {
+  std::string name = "machine";
+  int physical_cores = 2;
+  bool hyperthreading_capable = true;
+  double cpu_ghz = 1.4;
+  hw::MemorySystemParams memory;
+  bool has_rcim = false;  ///< RCIM PCI card installed
+
+  /// §5.1: dual 1.4 GHz Pentium 4 Xeon, 1 GB RAM, SCSI (determinism tests).
+  static MachineConfig dual_p4_xeon_1400();
+  /// §6.1: dual 933 MHz Pentium 3 Xeon, 2 GB RAM, SCSI (realfeel tests).
+  static MachineConfig dual_p3_xeon_933();
+  /// §6.3: dual 2.0 GHz Pentium 4 Xeon with RCIM, 3c905C NIC, GeForce2.
+  static MachineConfig dual_p4_xeon_2000_rcim();
+  /// A larger SMP box (not in the paper) for multi-CPU-shield scenarios —
+  /// §2 says "one or more shielded CPUs".
+  static MachineConfig quad_p4_xeon_2000_rcim();
+};
+
+}  // namespace config

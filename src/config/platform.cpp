@@ -1,0 +1,64 @@
+#include "config/platform.h"
+
+#include "sim/assert.h"
+
+namespace config {
+
+Platform::Platform(const MachineConfig& machine, const KernelConfig& kcfg,
+                   std::uint64_t seed, std::optional<bool> ht_override)
+    : machine_(machine) {
+  const bool ht = ht_override.value_or(kcfg.default_hyperthreading) &&
+                  machine.hyperthreading_capable;
+  engine_ = std::make_unique<sim::Engine>(seed);
+  topo_ = std::make_unique<hw::Topology>(machine.physical_cores, ht,
+                                         machine.cpu_ghz);
+  mem_ = std::make_unique<hw::MemorySystem>(*engine_, *topo_, machine.memory);
+  ic_ = std::make_unique<hw::InterruptController>(*engine_, *topo_);
+
+  rtc_dev_ = std::make_unique<hw::RtcDevice>(*engine_, *ic_);
+  nic_dev_ = std::make_unique<hw::NicDevice>(*engine_, *ic_);
+  disk_dev_ = std::make_unique<hw::DiskDevice>(*engine_, *ic_);
+  gpu_dev_ = std::make_unique<hw::GpuDevice>(*engine_, *ic_);
+  if (machine.has_rcim && kcfg.rcim_driver) {
+    rcim_dev_ = std::make_unique<hw::RcimDevice>(*engine_, *ic_);
+  }
+
+  kernel_ = std::make_unique<kernel::Kernel>(*engine_, *topo_, *mem_, *ic_,
+                                             kcfg);
+
+  rtc_drv_ = std::make_unique<kernel::RtcDriver>(*kernel_, *rtc_dev_);
+  nic_drv_ = std::make_unique<kernel::NicDriver>(*kernel_, *nic_dev_);
+  disk_drv_ = std::make_unique<kernel::DiskDriver>(*kernel_, *disk_dev_);
+  gpu_drv_ = std::make_unique<kernel::GpuDriver>(*kernel_, *gpu_dev_);
+  if (rcim_dev_ != nullptr) {
+    rcim_drv_ = std::make_unique<kernel::RcimDriver>(*kernel_, *rcim_dev_);
+  }
+  if (kcfg.shield_support) {
+    shield_ = std::make_unique<shield::ShieldController>(*kernel_);
+  }
+}
+
+void Platform::boot() { kernel_->start(); }
+
+void Platform::run_for(sim::Duration d) {
+  engine_->run_until(engine_->now() + d);
+}
+
+void Platform::run_until(sim::Time t) { engine_->run_until(t); }
+
+hw::RcimDevice& Platform::rcim_device() {
+  SIM_ASSERT_MSG(rcim_dev_ != nullptr, "machine has no RCIM card");
+  return *rcim_dev_;
+}
+
+kernel::RcimDriver& Platform::rcim_driver() {
+  SIM_ASSERT_MSG(rcim_drv_ != nullptr, "no RCIM driver loaded");
+  return *rcim_drv_;
+}
+
+shield::ShieldController& Platform::shield() {
+  SIM_ASSERT_MSG(shield_ != nullptr, "kernel has no shield support");
+  return *shield_;
+}
+
+}  // namespace config

@@ -1,0 +1,105 @@
+// Platform: one fully assembled simulated machine.
+//
+// Owns the engine, hardware, devices, kernel, drivers, and (when the
+// kernel supports it) the shield controller — everything an experiment or
+// example needs, wired in the right order. This is the main entry point of
+// the library's public API:
+//
+//   config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+//                      config::KernelConfig::redhawk_1_4(), /*seed=*/42);
+//   p.boot();
+//   p.shield().dedicate_cpu(1, my_task, p.rcim_device().irq());
+//   p.run_for(10 * sim::kSecond);
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "config/kernel_config.h"
+#include "config/machine_config.h"
+#include "hw/disk_device.h"
+#include "hw/gpu_device.h"
+#include "hw/interrupt_controller.h"
+#include "hw/memory_system.h"
+#include "hw/nic_device.h"
+#include "hw/rcim_device.h"
+#include "hw/rtc_device.h"
+#include "hw/topology.h"
+#include "kernel/drivers/disk_driver.h"
+#include "kernel/drivers/gpu_driver.h"
+#include "kernel/drivers/nic_driver.h"
+#include "kernel/drivers/rcim_driver.h"
+#include "kernel/drivers/rtc_driver.h"
+#include "kernel/kernel.h"
+#include "shield/shield_controller.h"
+#include "sim/engine.h"
+
+namespace config {
+
+class Platform {
+ public:
+  /// `ht_override` forces hyperthreading on/off regardless of the kernel's
+  /// default (used by §5.2's "vanilla with HT disabled via GRUB" run).
+  Platform(const MachineConfig& machine, const KernelConfig& kcfg,
+           std::uint64_t seed, std::optional<bool> ht_override = std::nullopt);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// Start the kernel (ksoftirqd, local timers, created tasks).
+  void boot();
+
+  /// Advance simulated time by `d`.
+  void run_for(sim::Duration d);
+  /// Advance simulated time until absolute time `t`.
+  void run_until(sim::Time t);
+
+  // ---- accessors ------------------------------------------------------------
+  sim::Engine& engine() { return *engine_; }
+  const hw::Topology& topology() const { return *topo_; }
+  hw::MemorySystem& memory() { return *mem_; }
+  hw::InterruptController& interrupt_controller() { return *ic_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+
+  hw::RtcDevice& rtc_device() { return *rtc_dev_; }
+  hw::NicDevice& nic_device() { return *nic_dev_; }
+  hw::DiskDevice& disk_device() { return *disk_dev_; }
+  hw::GpuDevice& gpu_device() { return *gpu_dev_; }
+  /// Only present when the machine has the card *and* the kernel ships the
+  /// driver.
+  [[nodiscard]] bool has_rcim() const { return rcim_dev_ != nullptr; }
+  hw::RcimDevice& rcim_device();
+
+  kernel::RtcDriver& rtc_driver() { return *rtc_drv_; }
+  kernel::NicDriver& nic_driver() { return *nic_drv_; }
+  kernel::DiskDriver& disk_driver() { return *disk_drv_; }
+  kernel::GpuDriver& gpu_driver() { return *gpu_drv_; }
+  kernel::RcimDriver& rcim_driver();
+
+  [[nodiscard]] bool has_shield() const { return shield_ != nullptr; }
+  shield::ShieldController& shield();
+
+  const MachineConfig& machine_config() const { return machine_; }
+  const KernelConfig& kernel_config() const { return kernel_->config(); }
+
+ private:
+  MachineConfig machine_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<hw::Topology> topo_;
+  std::unique_ptr<hw::MemorySystem> mem_;
+  std::unique_ptr<hw::InterruptController> ic_;
+  std::unique_ptr<hw::RtcDevice> rtc_dev_;
+  std::unique_ptr<hw::RcimDevice> rcim_dev_;
+  std::unique_ptr<hw::NicDevice> nic_dev_;
+  std::unique_ptr<hw::DiskDevice> disk_dev_;
+  std::unique_ptr<hw::GpuDevice> gpu_dev_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  std::unique_ptr<kernel::RtcDriver> rtc_drv_;
+  std::unique_ptr<kernel::RcimDriver> rcim_drv_;
+  std::unique_ptr<kernel::NicDriver> nic_drv_;
+  std::unique_ptr<kernel::DiskDriver> disk_drv_;
+  std::unique_ptr<kernel::GpuDriver> gpu_drv_;
+  std::unique_ptr<shield::ShieldController> shield_;
+};
+
+}  // namespace config

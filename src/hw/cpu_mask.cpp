@@ -1,0 +1,41 @@
+#include "hw/cpu_mask.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace hw {
+
+std::string CpuMask::to_hex() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(bits_));
+  return buf;
+}
+
+bool CpuMask::parse_hex(std::string_view text, CpuMask& out) {
+  // Trim whitespace (procfs writes often end in '\n').
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  if (text.starts_with("0x") || text.starts_with("0X")) text.remove_prefix(2);
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t bits = 0;
+  for (char c : text) {
+    bits <<= 4;
+    if (c >= '0' && c <= '9') {
+      bits |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      bits |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      bits |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = CpuMask(bits);
+  return true;
+}
+
+}  // namespace hw

@@ -1,0 +1,90 @@
+// CPU affinity bit masks.
+//
+// Semantically identical to the kernel's cpumask_t for systems of up to 64
+// logical CPUs (the paper's machines have 2-4). The shield mechanism is
+// entirely mask algebra, so this type is the vocabulary of the whole repo.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "hw/types.h"
+#include "sim/assert.h"
+
+namespace hw {
+
+class CpuMask {
+ public:
+  constexpr CpuMask() = default;
+  constexpr explicit CpuMask(std::uint64_t bits) : bits_(bits) {}
+
+  /// Mask containing exactly one CPU.
+  static constexpr CpuMask single(CpuId cpu) {
+    return CpuMask(std::uint64_t{1} << cpu);
+  }
+
+  /// Mask of all CPUs 0..n-1.
+  static constexpr CpuMask first_n(int n) {
+    return n >= 64 ? CpuMask(~std::uint64_t{0})
+                   : CpuMask((std::uint64_t{1} << n) - 1);
+  }
+
+  static constexpr CpuMask none() { return CpuMask(0); }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr bool test(CpuId cpu) const {
+    return (bits_ >> cpu) & 1;
+  }
+  [[nodiscard]] constexpr int count() const { return std::popcount(bits_); }
+
+  /// Lowest set CPU; requires !empty().
+  [[nodiscard]] CpuId first() const {
+    SIM_ASSERT(!empty());
+    return std::countr_zero(bits_);
+  }
+
+  constexpr void set(CpuId cpu) { bits_ |= std::uint64_t{1} << cpu; }
+  constexpr void clear(CpuId cpu) { bits_ &= ~(std::uint64_t{1} << cpu); }
+
+  /// True if every CPU in this mask is also in `other`.
+  [[nodiscard]] constexpr bool subset_of(CpuMask other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  [[nodiscard]] constexpr bool intersects(CpuMask other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  friend constexpr CpuMask operator&(CpuMask a, CpuMask b) {
+    return CpuMask(a.bits_ & b.bits_);
+  }
+  friend constexpr CpuMask operator|(CpuMask a, CpuMask b) {
+    return CpuMask(a.bits_ | b.bits_);
+  }
+  friend constexpr CpuMask operator~(CpuMask a) { return CpuMask(~a.bits_); }
+  friend constexpr bool operator==(CpuMask, CpuMask) = default;
+
+  /// Call `fn(cpu)` for each CPU in the mask, ascending.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t rest = bits_;
+    while (rest != 0) {
+      const CpuId cpu = std::countr_zero(rest);
+      fn(cpu);
+      rest &= rest - 1;
+    }
+  }
+
+  /// Hex rendering, matching /proc/irq/N/smp_affinity ("3" = CPUs 0,1).
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Parse the /proc hex format. Returns nullopt-like failure via bool.
+  static bool parse_hex(std::string_view text, CpuMask& out);
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace hw

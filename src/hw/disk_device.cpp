@@ -1,0 +1,48 @@
+#include "hw/disk_device.h"
+
+#include "sim/assert.h"
+
+namespace hw {
+
+using namespace sim::literals;
+
+DiskDevice::DiskDevice(sim::Engine& engine, InterruptController& ic, Irq irq)
+    : engine_(engine), ic_(ic), irq_(irq), rng_(engine.rng().split()) {}
+
+void DiskDevice::submit(const DiskRequest& req) {
+  queue_.push_back(req);
+  if (!busy_) start_next();
+}
+
+void DiskDevice::start_next() {
+  SIM_ASSERT(!busy_);
+  if (queue_.empty()) return;
+  busy_ = true;
+  DiskRequest req = queue_.front();
+  queue_.pop_front();
+  // Seek + rotational latency (most of the cost) plus transfer at ~40 MB/s.
+  // Sequential hits in the on-disk cache make some requests much faster.
+  const bool cache_hit = rng_.chance(0.35);
+  const sim::Duration mech =
+      cache_hit ? rng_.uniform_duration(100_us, 500_us)
+                : rng_.uniform_duration(2_ms, 9_ms);
+  const auto transfer =
+      static_cast<sim::Duration>(static_cast<double>(req.bytes) * 25.0);  // 40 MB/s
+  engine_.schedule(mech + transfer, [this, req] { finish(req); });
+}
+
+void DiskDevice::finish(DiskRequest req) {
+  busy_ = false;
+  ++completed_;
+  done_cookies_.push_back(req.cookie);
+  ic_.raise(irq_);
+  start_next();
+}
+
+std::vector<std::uint64_t> DiskDevice::drain_completions() {
+  std::vector<std::uint64_t> out;
+  out.swap(done_cookies_);
+  return out;
+}
+
+}  // namespace hw

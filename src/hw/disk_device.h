@@ -1,0 +1,55 @@
+// SCSI disk.
+//
+// Requests complete after a sampled seek + transfer time (2003-era SCSI:
+// a few ms). Completions raise the disk IRQ; the driver drains completion
+// cookies and wakes the submitting tasks. The disknoise script and the FS
+// stress test drive this device hard.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "hw/interrupt_controller.h"
+#include "hw/types.h"
+#include "sim/engine.h"
+
+namespace hw {
+
+struct DiskRequest {
+  std::uint32_t bytes = 0;
+  bool write = false;
+  std::uint64_t cookie = 0;  ///< caller-defined identity, returned on completion
+};
+
+class DiskDevice {
+ public:
+  DiskDevice(sim::Engine& engine, InterruptController& ic, Irq irq = kIrqDisk);
+
+  /// Queue a request. The device services requests one at a time, FIFO.
+  void submit(const DiskRequest& req);
+
+  /// Driver-side: collect cookies of completed requests.
+  std::vector<std::uint64_t> drain_completions();
+
+  [[nodiscard]] std::uint64_t completed_requests() const { return completed_; }
+  [[nodiscard]] std::size_t queue_depth() const {
+    return queue_.size() + (busy_ ? 1u : 0u);
+  }
+  [[nodiscard]] Irq irq() const { return irq_; }
+
+ private:
+  void start_next();
+  void finish(DiskRequest req);
+
+  sim::Engine& engine_;
+  InterruptController& ic_;
+  Irq irq_;
+  sim::Rng rng_;
+  std::deque<DiskRequest> queue_;
+  bool busy_ = false;
+  std::vector<std::uint64_t> done_cookies_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace hw

@@ -1,0 +1,31 @@
+#include "hw/gpu_device.h"
+
+#include "sim/assert.h"
+
+namespace hw {
+
+using namespace sim::literals;
+
+GpuDevice::GpuDevice(sim::Engine& engine, InterruptController& ic, Irq irq)
+    : engine_(engine), ic_(ic), irq_(irq), rng_(engine.rng().split()) {}
+
+void GpuDevice::submit_batch(std::uint32_t commands) {
+  SIM_ASSERT(commands > 0);
+  ++total_;
+  // ~1 µs per command with fixed submission overhead.
+  const sim::Duration render =
+      50_us + static_cast<sim::Duration>(commands) * 1_us +
+      rng_.uniform_duration(0, 100_us);
+  engine_.schedule(render, [this] {
+    ++pending_done_;
+    ic_.raise(irq_);
+  });
+}
+
+std::uint32_t GpuDevice::drain_completions() {
+  const std::uint32_t n = pending_done_;
+  pending_done_ = 0;
+  return n;
+}
+
+}  // namespace hw

@@ -1,0 +1,39 @@
+// Graphics controller (nVidia GeForce2 MXR class).
+//
+// X11perf drives this: command batches are submitted, the GPU processes them
+// and raises a completion interrupt so X can submit the next batch. The
+// paper's Fig 7 guarantee explicitly holds "in the presence of graphics
+// activity", so the graphics IRQ load must exist in the model.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/interrupt_controller.h"
+#include "hw/types.h"
+#include "sim/engine.h"
+
+namespace hw {
+
+class GpuDevice {
+ public:
+  GpuDevice(sim::Engine& engine, InterruptController& ic, Irq irq = kIrqGpu);
+
+  /// Submit a rendering batch; completion raises the GPU IRQ.
+  void submit_batch(std::uint32_t commands);
+
+  /// Driver-side: number of completed batches since last drain.
+  std::uint32_t drain_completions();
+
+  [[nodiscard]] std::uint64_t total_batches() const { return total_; }
+  [[nodiscard]] Irq irq() const { return irq_; }
+
+ private:
+  sim::Engine& engine_;
+  InterruptController& ic_;
+  Irq irq_;
+  sim::Rng rng_;
+  std::uint32_t pending_done_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hw

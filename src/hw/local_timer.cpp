@@ -1,0 +1,65 @@
+#include "hw/local_timer.h"
+
+#include "sim/assert.h"
+
+namespace hw {
+
+LocalTimer::LocalTimer(sim::Engine& engine, const Topology& topo,
+                       sim::Duration period)
+    : engine_(engine),
+      topo_(topo),
+      period_(period),
+      enabled_(static_cast<std::size_t>(topo.logical_cpus()), true),
+      pending_(static_cast<std::size_t>(topo.logical_cpus())),
+      ticks_(static_cast<std::size_t>(topo.logical_cpus()), 0) {
+  SIM_ASSERT(period > 0);
+}
+
+void LocalTimer::start() {
+  SIM_ASSERT_MSG(static_cast<bool>(tick_), "no tick function installed");
+  SIM_ASSERT(!started_);
+  started_ = true;
+  for (CpuId cpu = 0; cpu < topo_.logical_cpus(); ++cpu) {
+    if (!enabled_[static_cast<std::size_t>(cpu)]) continue;
+    // Deterministic stagger: spread first ticks across the period.
+    const sim::Duration phase =
+        period_ * static_cast<sim::Duration>(cpu + 1) /
+        static_cast<sim::Duration>(topo_.logical_cpus() + 1);
+    arm(cpu, phase);
+  }
+}
+
+void LocalTimer::arm(CpuId cpu, sim::Duration delay) {
+  pending_[static_cast<std::size_t>(cpu)] =
+      engine_.schedule(delay, [this, cpu] { fire(cpu); });
+}
+
+void LocalTimer::fire(CpuId cpu) {
+  ticks_[static_cast<std::size_t>(cpu)]++;
+  arm(cpu, period_);
+  tick_(cpu);
+}
+
+void LocalTimer::set_enabled(CpuId cpu, bool enabled) {
+  SIM_ASSERT(topo_.valid_cpu(cpu));
+  if (enabled_[static_cast<std::size_t>(cpu)] == enabled) return;
+  enabled_[static_cast<std::size_t>(cpu)] = enabled;
+  if (!enabled) {
+    engine_.cancel(pending_[static_cast<std::size_t>(cpu)]);
+    pending_[static_cast<std::size_t>(cpu)] = {};
+  } else if (started_) {
+    arm(cpu, period_);
+  }
+}
+
+bool LocalTimer::enabled(CpuId cpu) const {
+  SIM_ASSERT(topo_.valid_cpu(cpu));
+  return enabled_[static_cast<std::size_t>(cpu)];
+}
+
+std::uint64_t LocalTimer::tick_count(CpuId cpu) const {
+  SIM_ASSERT(topo_.valid_cpu(cpu));
+  return ticks_[static_cast<std::size_t>(cpu)];
+}
+
+}  // namespace hw

@@ -1,0 +1,57 @@
+// Per-CPU local APIC timer.
+//
+// Fires on every CPU at HZ (100/s in 2.4, i.e. every 10 ms) and is "the most
+// active interrupt in the system" (§3). Shielding a CPU from the local timer
+// disables its tick entirely — the per-CPU enable bit below is exactly what
+// `/proc/shield/ltmr` flips.
+//
+// The local timer bypasses the IO-APIC: it delivers straight to its own CPU
+// via a callback the kernel installs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/topology.h"
+#include "hw/types.h"
+#include "sim/engine.h"
+
+namespace hw {
+
+class LocalTimer {
+ public:
+  using TickFn = std::function<void(CpuId)>;
+
+  LocalTimer(sim::Engine& engine, const Topology& topo,
+             sim::Duration period /* 10 ms for HZ=100 */);
+
+  void set_tick_fn(TickFn fn) { tick_ = std::move(fn); }
+
+  /// Arm every enabled CPU's timer. Phases are staggered: real APIC timers
+  /// are started by each CPU during boot and are never aligned.
+  void start();
+
+  /// Enable/disable one CPU's tick (the shield mechanism's hook). Disabling
+  /// cancels the pending tick; re-enabling re-arms a full period out.
+  void set_enabled(CpuId cpu, bool enabled);
+  [[nodiscard]] bool enabled(CpuId cpu) const;
+
+  [[nodiscard]] sim::Duration period() const { return period_; }
+  [[nodiscard]] std::uint64_t tick_count(CpuId cpu) const;
+
+ private:
+  void arm(CpuId cpu, sim::Duration delay);
+  void fire(CpuId cpu);
+
+  sim::Engine& engine_;
+  const Topology& topo_;
+  sim::Duration period_;
+  TickFn tick_;
+  bool started_ = false;
+  std::vector<bool> enabled_;
+  std::vector<sim::EventId> pending_;
+  std::vector<std::uint64_t> ticks_;
+};
+
+}  // namespace hw

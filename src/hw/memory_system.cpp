@@ -1,0 +1,58 @@
+#include "hw/memory_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.h"
+
+namespace hw {
+
+MemorySystem::MemorySystem(sim::Engine& engine, const Topology& topo,
+                           MemorySystemParams params)
+    : topo_(topo),
+      params_(params),
+      rng_(engine.rng().split()),
+      traffic_(static_cast<std::size_t>(topo.logical_cpus()), 0.0) {}
+
+void MemorySystem::set_traffic(CpuId cpu, double intensity) {
+  SIM_ASSERT(topo_.valid_cpu(cpu));
+  traffic_[static_cast<std::size_t>(cpu)] = std::clamp(intensity, 0.0, 1.0);
+}
+
+double MemorySystem::traffic(CpuId cpu) const {
+  SIM_ASSERT(topo_.valid_cpu(cpu));
+  return traffic_[static_cast<std::size_t>(cpu)];
+}
+
+double MemorySystem::foreign_traffic(CpuId cpu) const {
+  SIM_ASSERT(topo_.valid_cpu(cpu));
+  const int my_core = topo_.core_of(cpu);
+  double sum = 0.0;
+  for (CpuId other = 0; other < topo_.logical_cpus(); ++other) {
+    if (topo_.core_of(other) != my_core) {
+      sum += traffic_[static_cast<std::size_t>(other)];
+    }
+  }
+  return sum;
+}
+
+double MemorySystem::sample_dilation(CpuId cpu, bool sibling_busy,
+                                     double self_intensity) {
+  const double foreign = foreign_traffic(cpu);
+  // Bus slowdown only bites in proportion to how memory-bound the work is;
+  // the contention itself varies run to run, so sample it uniformly up to
+  // the configured coefficient.
+  const double bus = params_.bus_contention_coeff * self_intensity * foreign *
+                     rng_.next_double();
+  const double noise = std::abs(rng_.normal(0.0, params_.noise_sigma));
+  double dilation = 1.0 + bus + noise;
+  if (sibling_busy) {
+    dilation *= params_.ht_contention_min +
+                (params_.ht_contention_max - params_.ht_contention_min) *
+                    rng_.next_double();
+  }
+  SIM_ASSERT(dilation >= 1.0);
+  return dilation;
+}
+
+}  // namespace hw

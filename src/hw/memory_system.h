@@ -1,0 +1,62 @@
+// SMP memory-bus and hyperthread contention model.
+//
+// Two of the paper's findings live here:
+//  * Fig 2: even a fully shielded CPU keeps ~1.9% worst-case jitter, which
+//    the paper attributes to memory contention from the other CPU.
+//  * Fig 1 vs Fig 4: hyperthreading roughly doubles worst-case jitter
+//    because the sibling logical CPU contends for the shared execution unit.
+//
+// The model is intentionally coarse: each CPU advertises a memory-traffic
+// intensity in [0,1] (set by the kernel from the running task's profile);
+// executing a work segment on a CPU is dilated by a factor sampled from the
+// foreign traffic it sees plus an HT factor when the sibling is busy.
+#pragma once
+
+#include <vector>
+
+#include "hw/topology.h"
+#include "sim/engine.h"
+#include "sim/rng.h"
+
+namespace hw {
+
+struct MemorySystemParams {
+  /// Slowdown per unit of (self intensity × foreign traffic).
+  double bus_contention_coeff = 0.45;
+  /// Hyperthread slowdown factor range when the sibling is busy.
+  double ht_contention_min = 1.30;
+  double ht_contention_max = 1.75;
+  /// Half-normal execution noise (cache effects on an otherwise idle bus).
+  double noise_sigma = 0.0015;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(sim::Engine& engine, const Topology& topo,
+               MemorySystemParams params = {});
+
+  /// Advertise the memory intensity of whatever runs on `cpu` now.
+  void set_traffic(CpuId cpu, double intensity);
+
+  [[nodiscard]] double traffic(CpuId cpu) const;
+
+  /// Total traffic from all physical cores other than `cpu`'s core.
+  /// (HT siblings share a cache, not the bus, so they are excluded here —
+  /// their interference is the separate HT factor.)
+  [[nodiscard]] double foreign_traffic(CpuId cpu) const;
+
+  /// Sample the wall-time dilation factor (>= 1.0) for a work segment on
+  /// `cpu`, given whether the HT sibling is currently executing and the
+  /// memory intensity of the work itself.
+  double sample_dilation(CpuId cpu, bool sibling_busy, double self_intensity);
+
+  const MemorySystemParams& params() const { return params_; }
+
+ private:
+  const Topology& topo_;
+  MemorySystemParams params_;
+  sim::Rng rng_;
+  std::vector<double> traffic_;
+};
+
+}  // namespace hw

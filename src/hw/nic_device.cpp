@@ -1,0 +1,51 @@
+#include "hw/nic_device.h"
+
+#include "sim/assert.h"
+
+namespace hw {
+
+NicDevice::NicDevice(sim::Engine& engine, InterruptController& ic, Irq irq)
+    : engine_(engine), ic_(ic), irq_(irq) {}
+
+void NicDevice::set_link_mbps(double mbps) {
+  SIM_ASSERT(mbps > 0.0);
+  link_mbps_ = mbps;
+}
+
+sim::Duration NicDevice::transfer_delay(std::uint32_t bytes) const {
+  // Serialisation time at the link rate: bytes * 8 / (mbps * 1e6) seconds.
+  return static_cast<sim::Duration>(static_cast<double>(bytes) * 8.0 * 1000.0 /
+                                    link_mbps_);
+}
+
+void NicDevice::rx(std::uint32_t bytes) {
+  SIM_ASSERT(bytes > 0);
+  total_rx_ += bytes;
+  engine_.schedule(transfer_delay(bytes), [this, bytes] {
+    pending_rx_ += bytes;
+    ic_.raise(irq_);
+  });
+}
+
+void NicDevice::tx(std::uint32_t bytes) {
+  SIM_ASSERT(bytes > 0);
+  total_tx_ += bytes;
+  engine_.schedule(transfer_delay(bytes), [this, bytes] {
+    pending_tx_done_ += bytes;
+    ic_.raise(irq_);
+  });
+}
+
+std::uint32_t NicDevice::drain_rx_bytes() {
+  const std::uint32_t n = pending_rx_;
+  pending_rx_ = 0;
+  return n;
+}
+
+std::uint32_t NicDevice::drain_tx_bytes() {
+  const std::uint32_t n = pending_tx_done_;
+  pending_tx_done_ = 0;
+  return n;
+}
+
+}  // namespace hw

@@ -1,0 +1,54 @@
+// Ethernet controller (3Com 3c905C-class).
+//
+// Workloads inject receive/transmit traffic in bytes; the device batches it
+// into interrupts (simple interrupt-per-burst coalescing, as 2003-era NICs
+// did with their rx rings). The driver's hardirq handler drains the pending
+// byte counts and converts them into net-rx softirq work — the bottom-half
+// storms of §6.2.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/interrupt_controller.h"
+#include "hw/types.h"
+#include "sim/engine.h"
+
+namespace hw {
+
+class NicDevice {
+ public:
+  NicDevice(sim::Engine& engine, InterruptController& ic, Irq irq = kIrqNic);
+
+  /// A burst of `bytes` arrives on the wire now; the device DMAs it and
+  /// raises the line after the transfer delay.
+  void rx(std::uint32_t bytes);
+
+  /// Queue `bytes` for transmission; a TX-complete interrupt follows.
+  void tx(std::uint32_t bytes);
+
+  /// Driver-side: collect and clear pending RX bytes.
+  std::uint32_t drain_rx_bytes();
+  /// Driver-side: collect and clear completed TX bytes.
+  std::uint32_t drain_tx_bytes();
+
+  [[nodiscard]] std::uint64_t total_rx_bytes() const { return total_rx_; }
+  [[nodiscard]] std::uint64_t total_tx_bytes() const { return total_tx_; }
+  [[nodiscard]] Irq irq() const { return irq_; }
+
+  /// Wire rate used to compute DMA/serialisation delays (default 100 Mbit).
+  void set_link_mbps(double mbps);
+
+ private:
+  sim::Duration transfer_delay(std::uint32_t bytes) const;
+
+  sim::Engine& engine_;
+  InterruptController& ic_;
+  Irq irq_;
+  double link_mbps_ = 100.0;
+  std::uint32_t pending_rx_ = 0;
+  std::uint32_t pending_tx_done_ = 0;
+  std::uint64_t total_rx_ = 0;
+  std::uint64_t total_tx_ = 0;
+};
+
+}  // namespace hw

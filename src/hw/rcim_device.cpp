@@ -1,0 +1,72 @@
+#include "hw/rcim_device.h"
+
+#include "sim/assert.h"
+
+namespace hw {
+
+RcimDevice::RcimDevice(sim::Engine& engine, InterruptController& ic,
+                       sim::Duration tick, Irq irq)
+    : engine_(engine), ic_(ic), tick_(tick), irq_(irq) {
+  SIM_ASSERT(tick > 0);
+}
+
+void RcimDevice::program_periodic(std::uint32_t count) {
+  SIM_ASSERT_MSG(count > 0, "RCIM count register must be non-zero");
+  stop();
+  running_ = true;
+  initial_count_ = count;
+  cycle_start_ = engine_.now();
+  pending_ = engine_.schedule(period(), [this] { fire(); });
+}
+
+void RcimDevice::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(pending_);
+  pending_ = {};
+}
+
+std::uint32_t RcimDevice::read_count() const {
+  if (!running_) return 0;
+  const sim::Duration in_cycle = (engine_.now() - cycle_start_) % period();
+  return initial_count_ - static_cast<std::uint32_t>(in_cycle / tick_);
+}
+
+sim::Duration RcimDevice::elapsed_in_cycle() const {
+  return static_cast<sim::Duration>(initial_count_ - read_count()) * tick_;
+}
+
+void RcimDevice::trigger_external(int line) {
+  SIM_ASSERT(line >= 0 && line < kExternalLines);
+  external_status_ |= 1u << line;
+  external_edge_at_[static_cast<std::size_t>(line)] = engine_.now();
+  external_edges_[static_cast<std::size_t>(line)]++;
+  ic_.raise(irq_);
+}
+
+std::uint32_t RcimDevice::read_and_clear_external_status() {
+  const std::uint32_t s = external_status_;
+  external_status_ = 0;
+  return s;
+}
+
+sim::Time RcimDevice::last_external_edge(int line) const {
+  SIM_ASSERT(line >= 0 && line < kExternalLines);
+  return external_edge_at_[static_cast<std::size_t>(line)];
+}
+
+std::uint64_t RcimDevice::external_edge_count(int line) const {
+  SIM_ASSERT(line >= 0 && line < kExternalLines);
+  return external_edges_[static_cast<std::size_t>(line)];
+}
+
+void RcimDevice::fire() {
+  // Auto-reload: the new cycle starts exactly when the count hits zero.
+  cycle_start_ = engine_.now();
+  last_fire_ = engine_.now();
+  ++fires_;
+  ic_.raise(irq_);
+  pending_ = engine_.schedule(period(), [this] { fire(); });
+}
+
+}  // namespace hw

@@ -1,0 +1,54 @@
+#include "hw/rtc_device.h"
+
+#include "sim/assert.h"
+
+namespace hw {
+
+RtcDevice::RtcDevice(sim::Engine& engine, InterruptController& ic, Irq irq)
+    : engine_(engine), ic_(ic), irq_(irq) {}
+
+void RtcDevice::set_rate_hz(int hz) {
+  SIM_ASSERT_MSG(hz >= 2 && hz <= 8192 && (hz & (hz - 1)) == 0,
+                 "RTC rate must be a power of two in [2, 8192]");
+  rate_hz_ = hz;
+}
+
+sim::Duration RtcDevice::nominal_period() const {
+  return sim::kSecond / static_cast<sim::Duration>(rate_hz_);
+}
+
+void RtcDevice::start_periodic() {
+  if (running_) return;
+  running_ = true;
+  frac_acc_ = 0;
+  arm();
+}
+
+void RtcDevice::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(pending_);
+  pending_ = {};
+}
+
+void RtcDevice::arm() {
+  // Bresenham-style remainder tracking: the true period is
+  // 1e9 / rate ns which is fractional for 2048 Hz (488281.25 ns).
+  const auto rate = static_cast<std::uint64_t>(rate_hz_);
+  sim::Duration period = sim::kSecond / rate;
+  frac_acc_ += sim::kSecond % rate;
+  if (frac_acc_ >= rate) {
+    frac_acc_ -= rate;
+    period += 1;
+  }
+  pending_ = engine_.schedule(period, [this] { fire(); });
+}
+
+void RtcDevice::fire() {
+  last_fire_ = engine_.now();
+  ++fires_;
+  ic_.raise(irq_);
+  if (running_) arm();
+}
+
+}  // namespace hw

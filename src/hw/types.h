@@ -1,0 +1,23 @@
+// Shared hardware identifier types.
+#pragma once
+
+namespace hw {
+
+/// Logical CPU number (0-based). With hyperthreading enabled, two logical
+/// CPUs share one physical execution unit.
+using CpuId = int;
+
+/// Interrupt line number on the (IO-APIC-like) interrupt controller.
+using Irq = int;
+
+/// Well-known IRQ assignments used by the modelled testbeds. These mirror
+/// classic PC practice so traces read naturally.
+inline constexpr Irq kIrqTimer = 0;    ///< PIT / global timer (unused; local APIC timers are per-CPU)
+inline constexpr Irq kIrqRtc = 8;      ///< CMOS real-time clock
+inline constexpr Irq kIrqNic = 10;     ///< Ethernet controller
+inline constexpr Irq kIrqGpu = 11;     ///< graphics controller
+inline constexpr Irq kIrqDisk = 14;    ///< SCSI/IDE disk controller
+inline constexpr Irq kIrqRcim = 5;     ///< RCIM PCI card
+inline constexpr int kMaxIrq = 24;
+
+}  // namespace hw

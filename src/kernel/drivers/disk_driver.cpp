@@ -1,0 +1,30 @@
+#include "kernel/drivers/disk_driver.h"
+
+namespace kernel {
+
+using namespace sim::literals;
+
+DiskDriver::DiskDriver(Kernel& kernel, hw::DiskDevice& device)
+    : kernel_(kernel), device_(device) {
+  IrqHandler h;
+  h.name = "scsi";
+  h.cost_min = 6_us;  // mailbox read + ack on a 2003 SCSI HBA
+  h.cost_max = 12_us;
+  h.effects = [this](Kernel& k, hw::CpuId cpu) {
+    for (const std::uint64_t cookie : device_.drain_completions()) {
+      ++completions_;
+      // End-of-request block-layer processing (bio completion, unplug).
+      k.raise_softirq(cpu, SoftirqType::kBlock,
+                      k.rng().uniform_duration(40_us, 160_us));
+      k.wake_up_one(static_cast<WaitQueueId>(cookie));
+    }
+  };
+  kernel.register_irq_handler(device.irq(), std::move(h));
+}
+
+void DiskDriver::submit(std::uint32_t bytes, bool write, WaitQueueId io_wq) {
+  device_.submit(
+      hw::DiskRequest{bytes, write, static_cast<std::uint64_t>(io_wq)});
+}
+
+}  // namespace kernel

@@ -1,0 +1,32 @@
+// SCSI disk driver.
+//
+// Submitters pass the wait-queue id as the request cookie; the completion
+// handler wakes exactly that queue and charges block-softirq work per
+// completed request.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/disk_device.h"
+#include "kernel/kernel.h"
+#include "kernel/kernel_ops.h"
+
+namespace kernel {
+
+class DiskDriver {
+ public:
+  DiskDriver(Kernel& kernel, hw::DiskDevice& device);
+
+  /// Submit a request on behalf of `io_wq`: the completion wakes it.
+  void submit(std::uint32_t bytes, bool write, WaitQueueId io_wq);
+
+  [[nodiscard]] hw::DiskDevice& device() { return device_; }
+  [[nodiscard]] std::uint64_t completions() const { return completions_; }
+
+ private:
+  Kernel& kernel_;
+  hw::DiskDevice& device_;
+  std::uint64_t completions_ = 0;
+};
+
+}  // namespace kernel

@@ -1,0 +1,25 @@
+#include "kernel/drivers/gpu_driver.h"
+
+namespace kernel {
+
+using namespace sim::literals;
+
+GpuDriver::GpuDriver(Kernel& kernel, hw::GpuDevice& device)
+    : kernel_(kernel), device_(device), wq_(kernel.create_wait_queue("gpu")) {
+  IrqHandler h;
+  h.name = "nvidia";
+  h.cost_min = 3_us;
+  h.cost_max = 8_us;
+  h.effects = [this](Kernel& k, hw::CpuId cpu) {
+    const std::uint32_t done = device_.drain_completions();
+    if (done > 0) {
+      k.raise_softirq(cpu, SoftirqType::kTasklet,
+                      static_cast<sim::Duration>(done) *
+                          k.rng().uniform_duration(10_us, 40_us));
+      k.wake_up_all(wq_);
+    }
+  };
+  kernel.register_irq_handler(device.irq(), std::move(h));
+}
+
+}  // namespace kernel

@@ -1,0 +1,30 @@
+// Graphics driver (nVidia GeForce2 MXR class).
+//
+// X11perf submits command batches and blocks until the completion
+// interrupt; the handler wakes the submitter and charges tasklet work.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/gpu_device.h"
+#include "kernel/kernel.h"
+#include "kernel/kernel_ops.h"
+
+namespace kernel {
+
+class GpuDriver {
+ public:
+  GpuDriver(Kernel& kernel, hw::GpuDevice& device);
+
+  /// X blocks here until its batch completes.
+  [[nodiscard]] WaitQueueId completion_queue() const { return wq_; }
+
+  [[nodiscard]] hw::GpuDevice& device() { return device_; }
+
+ private:
+  Kernel& kernel_;
+  hw::GpuDevice& device_;
+  WaitQueueId wq_;
+};
+
+}  // namespace kernel

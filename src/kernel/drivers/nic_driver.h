@@ -1,0 +1,45 @@
+// Ethernet driver.
+//
+// The hardirq handler is short (ring drain + ack); the real cost is the
+// protocol processing it queues as net-rx softirq work. Under the paper's
+// scp/ttcp loads this softirq work is the dominant jitter source on
+// unshielded CPUs.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/nic_device.h"
+#include "kernel/kernel.h"
+#include "kernel/kernel_ops.h"
+
+namespace kernel {
+
+class NicDriver {
+ public:
+  struct Params {
+    /// Protocol-processing cost per received byte (checksum, IP/TCP, skb
+    /// handling on 2003-era CPUs).
+    double rx_ns_per_byte = 26.0;
+    /// TX-completion cost per byte (skb free, queue restart).
+    double tx_ns_per_byte = 2.0;
+  };
+
+  NicDriver(Kernel& kernel, hw::NicDevice& device)
+      : NicDriver(kernel, device, Params{}) {}
+  NicDriver(Kernel& kernel, hw::NicDevice& device, Params params);
+
+  /// Receivers block here; the rx path wakes it.
+  [[nodiscard]] WaitQueueId rx_wait_queue() const { return rx_wq_; }
+
+  [[nodiscard]] hw::NicDevice& device() { return device_; }
+  [[nodiscard]] std::uint64_t rx_interrupts() const { return rx_irqs_; }
+
+ private:
+  Kernel& kernel_;
+  hw::NicDevice& device_;
+  Params params_;
+  WaitQueueId rx_wq_;
+  std::uint64_t rx_irqs_ = 0;
+};
+
+}  // namespace kernel

@@ -1,0 +1,65 @@
+#include "kernel/drivers/rcim_driver.h"
+
+#include "kernel/syscalls.h"
+#include "sim/assert.h"
+
+namespace kernel {
+
+using namespace sim::literals;
+
+RcimDriver::RcimDriver(Kernel& kernel, hw::RcimDevice& device)
+    : kernel_(kernel),
+      device_(device),
+      wq_(kernel.create_wait_queue("rcim")) {
+  SIM_ASSERT_MSG(kernel.config().rcim_driver,
+                 "this kernel config has no RCIM driver");
+  for (int line = 0; line < hw::RcimDevice::kExternalLines; ++line) {
+    ext_wqs_[static_cast<std::size_t>(line)] =
+        kernel.create_wait_queue("rcim_ext" + std::to_string(line));
+  }
+
+  IrqHandler h;
+  h.name = "rcim";
+  h.cost_min = 2_us;  // PCI read to ack; a tight, well-behaved handler —
+  h.cost_max = 4_us;  // but PCI reads stall behind DMA bursts on a busy bus
+  h.effects = [this](Kernel& k, hw::CpuId) {
+    // The status register says what fired: the timer, external lines, or
+    // both (they share the card's PCI interrupt).
+    if (device_.fire_count() != seen_timer_fires_) {
+      seen_timer_fires_ = device_.fire_count();
+      k.wake_up_all(wq_);
+    }
+    std::uint32_t status = device_.read_and_clear_external_status();
+    for (int line = 0; status != 0; ++line, status >>= 1) {
+      if (status & 1u) {
+        k.wake_up_all(ext_wqs_[static_cast<std::size_t>(line)]);
+      }
+    }
+  };
+  kernel.register_irq_handler(device.irq(), std::move(h));
+}
+
+WaitQueueId RcimDriver::external_wait_queue(int line) const {
+  SIM_ASSERT(line >= 0 && line < hw::RcimDevice::kExternalLines);
+  return ext_wqs_[static_cast<std::size_t>(line)];
+}
+
+KernelProgram RcimDriver::external_wait_ioctl_program(int line) {
+  ProgramBuilder body;
+  body.section(LockId::kRcim, 200_ns, 0.3);
+  body.block(external_wait_queue(line));
+  body.work(300_ns, 0.3);
+  return sys::ioctl_op(kernel_, /*driver_multithreaded_flag=*/true,
+                       std::move(body).build());
+}
+
+KernelProgram RcimDriver::wait_ioctl_program() {
+  ProgramBuilder body;
+  body.section(LockId::kRcim, 200_ns, 0.3);  // arm the wait, irq-safe lock
+  body.block(wq_);
+  body.work(300_ns, 0.3);  // return status to the caller
+  return sys::ioctl_op(kernel_, /*driver_multithreaded_flag=*/true,
+                       std::move(body).build());
+}
+
+}  // namespace kernel

@@ -1,0 +1,44 @@
+// RCIM driver (§6.3).
+//
+// The driver is fully multithreaded, so with the RedHawk "no BKL in ioctl"
+// flag its wait path is: tiny irq-safe driver lock, sleep, tiny exit — no
+// BKL, no fs-layer locks. Combined with the mmap'd count register for the
+// measurement, this is the path that delivers the paper's 27 µs worst case.
+#pragma once
+
+#include <array>
+
+#include "hw/rcim_device.h"
+#include "kernel/kernel.h"
+#include "kernel/kernel_ops.h"
+
+namespace kernel {
+
+class RcimDriver {
+ public:
+  RcimDriver(Kernel& kernel, hw::RcimDevice& device);
+
+  [[nodiscard]] WaitQueueId wait_queue() const { return wq_; }
+
+  /// One "wait for next periodic interrupt" ioctl. Goes through the generic
+  /// ioctl layer: takes the BKL unless the kernel honours the multithreaded-
+  /// driver flag (config.bkl_ioctl_flag).
+  [[nodiscard]] KernelProgram wait_ioctl_program();
+
+  /// Wait for an edge on external input `line` (the RCIM's "connect
+  /// external edge-triggered device interrupts" capability, §4).
+  [[nodiscard]] KernelProgram external_wait_ioctl_program(int line);
+
+  [[nodiscard]] WaitQueueId external_wait_queue(int line) const;
+
+  [[nodiscard]] hw::RcimDevice& device() { return device_; }
+
+ private:
+  Kernel& kernel_;
+  hw::RcimDevice& device_;
+  WaitQueueId wq_;
+  std::array<WaitQueueId, hw::RcimDevice::kExternalLines> ext_wqs_{};
+  std::uint64_t seen_timer_fires_ = 0;
+};
+
+}  // namespace kernel

@@ -1,0 +1,38 @@
+#include "kernel/drivers/rtc_driver.h"
+
+namespace kernel {
+
+using namespace sim::literals;
+
+RtcDriver::RtcDriver(Kernel& kernel, hw::RtcDevice& device)
+    : kernel_(kernel),
+      device_(device),
+      wq_(kernel.create_wait_queue("rtc")),
+      rng_(kernel.rng().split()) {
+  IrqHandler h;
+  h.name = "rtc";
+  h.cost_min = 2_us;  // CMOS register read to acknowledge is slow I/O
+  h.cost_max = 4_us;
+  const WaitQueueId wq = wq_;
+  h.effects = [wq](Kernel& k, hw::CpuId) { k.wake_up_all(wq); };
+  kernel.register_irq_handler(device.irq(), std::move(h));
+}
+
+KernelProgram RtcDriver::read_program() {
+  // The read path crosses the generic file-system layers on the way in and
+  // out (§6.2: "embedded in this code are opportunities to block waiting
+  // for spin locks"). The *holds* here are tiny; the latency, when it
+  // comes, is the wait for another CPU's holder — possibly one whose hold
+  // is being stretched by interrupt + bottom-half activity.
+  ProgramBuilder b;
+  b.work(600_ns, 0.3);            // fget + f_op dispatch
+  b.section(LockId::kFs, 300_ns, 0.4);
+  b.section(LockId::kRtc, 250_ns, 0.3);  // arm: record that we wait
+  b.block(wq_);
+  b.section(LockId::kRtc, 250_ns, 0.3);  // collect the interrupt count
+  b.section(LockId::kDcache, 300_ns, 0.4);  // fd release through dcache
+  b.work(400_ns, 0.3);            // copy_to_user + fput
+  return std::move(b).build();
+}
+
+}  // namespace kernel

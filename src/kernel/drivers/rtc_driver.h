@@ -1,0 +1,39 @@
+// /dev/rtc driver — the realfeel interrupt source (§6.1).
+//
+// The read() path is deliberately "less than optimal" (the paper's words):
+// after the wakeup, the process exits the kernel through generic
+// file-system layers with *opportunities to block waiting for spin locks*.
+// Those opportunities are modelled as rare probabilistic acquisitions of
+// the globally contended fs/dcache locks — rare per call, but when one
+// lands while a bottom-half-perforated holder is mid-section, the Fig 6
+// tail (0.1-0.6 ms) appears.
+#pragma once
+
+#include "hw/rtc_device.h"
+#include "kernel/kernel.h"
+#include "kernel/kernel_ops.h"
+
+namespace kernel {
+
+class RtcDriver {
+ public:
+  RtcDriver(Kernel& kernel, hw::RtcDevice& device);
+
+  /// Wait queue the interrupt handler wakes.
+  [[nodiscard]] WaitQueueId wait_queue() const { return wq_; }
+
+  /// Build one read(/dev/rtc) invocation: fd layers in, block for the
+  /// interrupt, fd layers out. Sampled per call (the lock "opportunities"
+  /// differ call to call).
+  [[nodiscard]] KernelProgram read_program();
+
+  [[nodiscard]] hw::RtcDevice& device() { return device_; }
+
+ private:
+  Kernel& kernel_;
+  hw::RtcDevice& device_;
+  WaitQueueId wq_;
+  sim::Rng rng_;
+};
+
+}  // namespace kernel

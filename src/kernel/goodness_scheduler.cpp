@@ -1,0 +1,137 @@
+#include "kernel/goodness_scheduler.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace kernel {
+
+void GoodnessScheduler::init(int ncpus) { ncpus_ = ncpus; }
+
+void GoodnessScheduler::enqueue(Task& t, hw::CpuId /*cpu*/) {
+  SIM_ASSERT(!t.on_runqueue);
+  runqueue_.push_back(&t);
+  t.on_runqueue = true;
+}
+
+void GoodnessScheduler::dequeue(Task& t) {
+  if (!t.on_runqueue) return;
+  std::erase(runqueue_, &t);
+  t.on_runqueue = false;
+}
+
+long GoodnessScheduler::goodness(const Task& t, hw::CpuId cpu) const {
+  if (t.is_rt()) return 1000 + t.static_priority();
+  // counter + nice bonus + cache-affinity bonus, as in 2.4's goodness().
+  long g = static_cast<long>(t.timeslice_remaining / sim::kMillisecond);
+  g += (20 - t.nice);
+  if (t.cpu == cpu) g += 15;  // PROC_CHANGE_PENALTY-style affinity bonus
+  return g;
+}
+
+Task* GoodnessScheduler::pick_next(hw::CpuId cpu) {
+  last_pick_scan_ = runqueue_.size();
+  Task* best = nullptr;
+  long best_g = -1;
+  for (Task* t : runqueue_) {
+    if (!t->effective_affinity.test(cpu)) continue;
+    const long g = goodness(*t, cpu);
+    if (g > best_g) {
+      best_g = g;
+      best = t;
+    }
+  }
+  if (best != nullptr && !best->is_rt() && best->timeslice_remaining == 0) {
+    // 2.4's counter-recalculation epoch: when every eligible SCHED_OTHER
+    // task has exhausted its counter, refill them all. (Without this, the
+    // cache-affinity bonus would let one task win every pick forever.)
+    for (Task* t : runqueue_) {
+      if (t->is_rt()) continue;
+      const auto scale = static_cast<sim::Duration>(20 - t->nice);
+      t->timeslice_remaining = cfg_.other_timeslice * scale / 20;
+      if (t->timeslice_remaining == 0) t->timeslice_remaining = sim::kMillisecond;
+    }
+    // Rescan with fresh counters.
+    best = nullptr;
+    best_g = -1;
+    for (Task* t : runqueue_) {
+      if (!t->effective_affinity.test(cpu)) continue;
+      const long g = goodness(*t, cpu);
+      if (g > best_g) {
+        best_g = g;
+        best = t;
+      }
+    }
+  }
+  if (best != nullptr) {
+    std::erase(runqueue_, best);
+    best->on_runqueue = false;
+  }
+  return best;
+}
+
+sim::Duration GoodnessScheduler::pick_cost(hw::CpuId /*cpu*/) {
+  // Global runqueue lock + O(n) goodness scan over the current queue. The
+  // lock is modelled as a small random add-on rather than a full contention
+  // simulation: on a 2-4 CPU machine the hold times are short but nonzero.
+  last_pick_scan_ = runqueue_.size();
+  const sim::Duration scan =
+      cfg_.sched_pick_base +
+      cfg_.sched_pick_per_task * static_cast<sim::Duration>(last_pick_scan_);
+  const sim::Duration lock_wait = rng_.uniform_duration(0, cfg_.sched_pick_base);
+  return scan + lock_wait;
+}
+
+hw::CpuId GoodnessScheduler::select_cpu(
+    const Task& t, hw::CpuMask allowed,
+    const std::function<bool(hw::CpuId)>& is_idle) {
+  SIM_ASSERT(!allowed.empty());
+  // reschedule_idle(): prefer the task's last CPU if idle, else any idle
+  // CPU, else the last CPU (the preemption check happens there).
+  if (t.cpu >= 0 && allowed.test(t.cpu) && is_idle(t.cpu)) return t.cpu;
+  hw::CpuId idle_pick = -1;
+  allowed.for_each([&](hw::CpuId cpu) {
+    if (idle_pick < 0 && is_idle(cpu)) idle_pick = cpu;
+  });
+  if (idle_pick >= 0) return idle_pick;
+  if (t.cpu >= 0 && allowed.test(t.cpu)) return t.cpu;
+  return allowed.first();
+}
+
+bool GoodnessScheduler::task_tick(Task& t, hw::CpuId /*cpu*/) {
+  if (t.is_rt()) {
+    if (t.policy != SchedPolicy::kRr) return false;
+    if (t.timeslice_remaining <= cfg_.local_timer_period) {
+      t.timeslice_remaining = cfg_.rr_timeslice;
+      return true;
+    }
+    t.timeslice_remaining -= cfg_.local_timer_period;
+    return false;
+  }
+  if (t.timeslice_remaining <= cfg_.local_timer_period) {
+    t.timeslice_remaining = 0;
+    return true;
+  }
+  t.timeslice_remaining -= cfg_.local_timer_period;
+  return false;
+}
+
+void GoodnessScheduler::refresh_timeslice(Task& t) {
+  if (t.policy == SchedPolicy::kRr) {
+    if (t.timeslice_remaining == 0) t.timeslice_remaining = cfg_.rr_timeslice;
+    return;
+  }
+  if (t.policy == SchedPolicy::kOther && t.timeslice_remaining == 0) {
+    // 2.4 recalculates counters in one global sweep; the per-task effect is
+    // a nice-scaled refill.
+    const auto scale = static_cast<sim::Duration>(20 - t.nice);
+    t.timeslice_remaining = cfg_.other_timeslice * scale / 20;
+    if (t.timeslice_remaining == 0) t.timeslice_remaining = sim::kMillisecond;
+  }
+}
+
+std::size_t GoodnessScheduler::nr_runnable(hw::CpuId /*cpu*/) const {
+  return runqueue_.size();
+}
+
+}  // namespace kernel

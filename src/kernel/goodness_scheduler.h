@@ -1,0 +1,45 @@
+// The 2.4 "goodness" scheduler.
+//
+// One global runqueue protected by one global lock; schedule() scans every
+// runnable task computing goodness() — O(n) work under the lock on every
+// context switch. RT tasks win via a large goodness boost; among OTHER
+// tasks, remaining timeslice (counter) plus nice decides. The O(n) scan and
+// the global lock are themselves jitter sources the O(1) scheduler removed,
+// so the pick cost model reflects queue length.
+#pragma once
+
+#include <vector>
+
+#include "kernel/scheduler.h"
+#include "sim/rng.h"
+
+namespace kernel {
+
+class GoodnessScheduler final : public Scheduler {
+ public:
+  GoodnessScheduler(const config::KernelConfig& cfg, sim::Rng rng)
+      : cfg_(cfg), rng_(rng) {}
+
+  void init(int ncpus) override;
+  void enqueue(Task& t, hw::CpuId cpu) override;
+  void dequeue(Task& t) override;
+  Task* pick_next(hw::CpuId cpu) override;
+  sim::Duration pick_cost(hw::CpuId cpu) override;
+  hw::CpuId select_cpu(const Task& t, hw::CpuMask allowed,
+                       const std::function<bool(hw::CpuId)>& is_idle) override;
+  bool task_tick(Task& t, hw::CpuId cpu) override;
+  void refresh_timeslice(Task& t) override;
+  std::size_t nr_runnable(hw::CpuId cpu) const override;
+  const char* name() const override { return "goodness-2.4"; }
+
+ private:
+  [[nodiscard]] long goodness(const Task& t, hw::CpuId cpu) const;
+
+  const config::KernelConfig& cfg_;
+  sim::Rng rng_;
+  int ncpus_ = 0;
+  std::vector<Task*> runqueue_;      // global
+  std::size_t last_pick_scan_ = 0;   // tasks scanned by the last pick
+};
+
+}  // namespace kernel

@@ -1,0 +1,541 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "kernel/goodness_scheduler.h"
+#include "kernel/o1_scheduler.h"
+#include "shield/shield_policy.h"
+#include "sim/assert.h"
+
+namespace kernel {
+
+using namespace sim::literals;
+
+namespace {
+
+/// Per-CPU bottom-half daemon: drains deferred softirq work in chunks when
+/// scheduled, sleeps otherwise.
+class KsoftirqdBehavior final : public Behavior {
+ public:
+  KsoftirqdBehavior(hw::CpuId cpu, WaitQueueId wq) : cpu_(cpu), wq_(wq) {}
+
+  Action next_action(Kernel& k, Task& /*task*/) override {
+    CpuState& cs = k.cpu_mut(cpu_);
+    const sim::Duration pending = cs.softirq.total_pending();
+    if (pending == 0) {
+      return SyscallAction{"ksoftirqd_wait",
+                           ProgramBuilder{}.block(wq_).build()};
+    }
+    const sim::Duration chunk = std::min(pending, k.config().ksoftirqd_chunk);
+    cs.softirq.take(chunk);
+    return SyscallAction{"ksoftirqd_run",
+                         ProgramBuilder{}.work(chunk, 0.5).build()};
+  }
+
+ private:
+  hw::CpuId cpu_;
+  WaitQueueId wq_;
+};
+
+bool lock_is_irq_safe(LockId id) {
+  switch (id) {
+    case LockId::kIoRequest:
+    case LockId::kRcim:
+      return true;
+    // The BKL and the fs/net-layer locks run with interrupts open — the
+    // precondition for §6.2's bottom-half perforation of hold times.
+    case LockId::kBkl:
+    case LockId::kFs:
+    case LockId::kDcache:
+    case LockId::kRtc:
+    case LockId::kSocket:
+    case LockId::kPipe:
+    case LockId::kMm:
+      return false;
+    case LockId::kCount:
+      break;
+  }
+  SIM_UNREACHABLE("bad lock id");
+}
+
+}  // namespace
+
+Kernel::Kernel(sim::Engine& engine, const hw::Topology& topo,
+               hw::MemorySystem& mem, hw::InterruptController& ic,
+               config::KernelConfig cfg)
+    : engine_(engine),
+      topo_(topo),
+      mem_(mem),
+      ic_(ic),
+      cfg_(std::move(cfg)),
+      rng_(engine.rng().split()),
+      auditor_(topo.logical_cpus()) {
+  switch (cfg_.scheduler) {
+    case config::SchedulerKind::kGoodness24:
+      sched_ = std::make_unique<GoodnessScheduler>(cfg_, rng_.split());
+      break;
+    case config::SchedulerKind::kO1:
+      sched_ = std::make_unique<O1Scheduler>(cfg_, rng_.split());
+      break;
+  }
+  sched_->init(topo_.logical_cpus());
+
+  cpus_.resize(static_cast<std::size_t>(topo_.logical_cpus()));
+  for (int i = 0; i < topo_.logical_cpus(); ++i) {
+    cpus_[static_cast<std::size_t>(i)].id = i;
+  }
+
+  for (int i = 0; i < static_cast<int>(LockId::kCount); ++i) {
+    const auto id = static_cast<LockId>(i);
+    locks_[static_cast<std::size_t>(i)] = SpinLock(id, lock_is_irq_safe(id));
+  }
+
+  local_timer_ = std::make_unique<hw::LocalTimer>(engine_, topo_,
+                                                  cfg_.local_timer_period);
+  local_timer_->set_tick_fn([this](hw::CpuId cpu) { local_timer_tick(cpu); });
+
+  register_proc_files();
+}
+
+Kernel::~Kernel() = default;
+
+CpuState& Kernel::cpu_mut(hw::CpuId id) {
+  SIM_ASSERT(topo_.valid_cpu(id));
+  return cpus_[static_cast<std::size_t>(id)];
+}
+
+const CpuState& Kernel::cpu(hw::CpuId id) const {
+  SIM_ASSERT(topo_.valid_cpu(id));
+  return cpus_[static_cast<std::size_t>(id)];
+}
+
+bool Kernel::cpu_busy(hw::CpuId id) const {
+  const CpuState& cs = cpu(id);
+  return cs.current != nullptr || !cs.irq_frames.empty() || cs.switching;
+}
+
+void Kernel::trace(sim::TraceCategory cat, hw::CpuId cpu, std::string msg) {
+  engine_.trace().record(engine_.now(), cat, cpu, std::move(msg));
+}
+
+// ---- setup ------------------------------------------------------------------
+
+Task& Kernel::create_task(TaskParams params, std::unique_ptr<Behavior> behavior) {
+  auto task = std::make_unique<Task>();
+  task->pid = next_pid_++;
+  task->name = std::move(params.name);
+  task->policy = params.policy;
+  task->rt_priority = params.rt_priority;
+  task->nice = params.nice;
+  task->mlocked = params.mlocked;
+  task->nominal_memory_intensity = params.memory_intensity;
+  task->user_affinity =
+      params.affinity.empty() ? topo_.all_cpus() : params.affinity & topo_.all_cpus();
+  SIM_ASSERT_MSG(!task->user_affinity.empty(), "task affinity has no valid CPU");
+  task->effective_affinity =
+      shield::effective_affinity(task->user_affinity, proc_shield_);
+  task->behavior = std::move(behavior);
+  task->state = TaskState::kNew;
+  tasks_.push_back(std::move(task));
+  Task& ref = *tasks_.back();
+
+  // /proc/<pid>/stat with the fields this model tracks (tick-sampled
+  // times, like the real file; HZ=100 so a tick is 10 ms).
+  Task* tp = &ref;
+  procfs_.register_file(
+      "/proc/" + std::to_string(ref.pid) + "/stat", [tp] {
+        char buf[256];
+        std::snprintf(buf, sizeof buf, "%d (%s) %c %llu %llu %llu %d\n",
+                      tp->pid, tp->name.c_str(),
+                      tp->state == TaskState::kRunning    ? 'R'
+                      : tp->state == TaskState::kReady    ? 'R'
+                      : tp->state == TaskState::kBlocked  ? 'S'
+                      : tp->state == TaskState::kExited   ? 'Z'
+                                                          : 'N',
+                      static_cast<unsigned long long>(tp->utime_ticks),
+                      static_cast<unsigned long long>(tp->stime_ticks),
+                      static_cast<unsigned long long>(tp->minor_faults),
+                      tp->cpu);
+        return std::string(buf);
+      });
+
+  if (started_) make_runnable(ref);
+  return ref;
+}
+
+std::size_t Kernel::reap_exited() {
+  std::size_t reaped = 0;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    Task& t = **it;
+    if (t.state == TaskState::kExited) {
+      SIM_ASSERT(!t.on_runqueue && t.waiting_on == kNoWaitQueue);
+      procfs_.remove("/proc/" + std::to_string(t.pid) + "/stat");
+      it = tasks_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  return reaped;
+}
+
+void Kernel::register_irq_handler(hw::Irq irq, IrqHandler handler) {
+  SIM_ASSERT(irq >= 0 && irq < hw::kMaxIrq);
+  irq_handlers_[static_cast<std::size_t>(irq)] = std::move(handler);
+}
+
+void Kernel::spawn_ksoftirqd(hw::CpuId cpu) {
+  CpuState& cs = cpu_mut(cpu);
+  cs.ksoftirqd_wq = create_wait_queue("ksoftirqd/" + std::to_string(cpu));
+  TaskParams p;
+  p.name = "ksoftirqd/" + std::to_string(cpu);
+  p.policy = SchedPolicy::kOther;
+  p.nice = cfg_.softirq_daemon_offload ? 0 : 19;
+  p.affinity = hw::CpuMask::single(cpu);
+  p.memory_intensity = 0.4;
+  cs.ksoftirqd = &create_task(
+      std::move(p), std::make_unique<KsoftirqdBehavior>(cpu, cs.ksoftirqd_wq));
+}
+
+void Kernel::start() {
+  SIM_ASSERT(!started_);
+  started_ = true;
+
+  ic_.set_deliver_fn(
+      [this](hw::CpuId cpu, hw::Irq irq) { deliver_vector(cpu, irq); });
+  ic_.set_idle_query([this](hw::CpuId cpu) { return cpu_idle(cpu); });
+
+  for (hw::CpuId cpu = 0; cpu < topo_.logical_cpus(); ++cpu) {
+    spawn_ksoftirqd(cpu);
+  }
+  local_timer_->start();
+
+  // Make all pre-created tasks runnable.
+  for (auto& t : tasks_) {
+    if (t->state == TaskState::kNew) make_runnable(*t);
+  }
+}
+
+// ---- administrative plane ------------------------------------------------------
+
+bool Kernel::sched_setaffinity(Task& t, hw::CpuMask mask) {
+  mask = mask & topo_.all_cpus();
+  if (mask.empty()) return false;
+  t.user_affinity = mask;
+  t.effective_affinity = shield::effective_affinity(mask, proc_shield_);
+  // Requeue if parked on a CPU it may no longer use.
+  if (t.on_runqueue) {
+    sched_->dequeue(t);
+    t.state = TaskState::kReady;
+    const hw::CpuId target = sched_->select_cpu(
+        t, t.effective_affinity, [this](hw::CpuId c) { return cpu_idle(c); });
+    sched_->enqueue(t, target);
+    check_preempt(target, t);
+  } else if (t.state == TaskState::kRunning && t.cpu >= 0 &&
+             !t.effective_affinity.test(t.cpu)) {
+    // Running somewhere now forbidden: force a reschedule.
+    CpuState& cs = cpu_mut(t.cpu);
+    cs.need_resched = true;
+    if (cs.irq_frames.empty() && !cs.switching &&
+        (t.in_user_mode() || kernel_preemptible(t))) {
+      preempt_current(t.cpu);
+    }
+  }
+  return true;
+}
+
+void Kernel::set_policy(Task& t, SchedPolicy policy, int rt_priority) {
+  SIM_ASSERT(policy == SchedPolicy::kOther ||
+             (rt_priority >= 1 && rt_priority <= 99));
+  if (t.on_runqueue) {
+    // Re-slot under the new priority.
+    sched_->dequeue(t);
+    t.policy = policy;
+    t.rt_priority = policy == SchedPolicy::kOther ? 0 : rt_priority;
+    const hw::CpuId target = sched_->select_cpu(
+        t, t.effective_affinity, [this](hw::CpuId c) { return cpu_idle(c); });
+    sched_->enqueue(t, target);
+    check_preempt(target, t);
+    return;
+  }
+  t.policy = policy;
+  t.rt_priority = policy == SchedPolicy::kOther ? 0 : rt_priority;
+}
+
+void Kernel::set_process_shield_mask(hw::CpuMask mask) {
+  SIM_ASSERT_MSG(cfg_.shield_support || mask.empty(),
+                 "this kernel has no shield support");
+  proc_shield_ = mask & topo_.all_cpus();
+}
+
+void Kernel::reapply_affinities() {
+  for (auto& tp : tasks_) {
+    Task& t = *tp;
+    if (t.state == TaskState::kExited) continue;
+    const hw::CpuMask effective =
+        shield::effective_affinity(t.user_affinity, proc_shield_);
+    if (effective == t.effective_affinity) continue;
+    t.effective_affinity = effective;
+    if (t.on_runqueue) {
+      sched_->dequeue(t);
+      const hw::CpuId target = sched_->select_cpu(
+          t, t.effective_affinity, [this](hw::CpuId c) { return cpu_idle(c); });
+      sched_->enqueue(t, target);
+      check_preempt(target, t);
+    } else if (t.state == TaskState::kRunning && t.cpu >= 0 &&
+               !effective.test(t.cpu)) {
+      CpuState& cs = cpu_mut(t.cpu);
+      cs.need_resched = true;
+      if (cs.irq_frames.empty() && !cs.switching &&
+          (t.in_user_mode() || kernel_preemptible(t))) {
+        preempt_current(t.cpu);
+      }
+      trace(sim::TraceCategory::kShield, t.cpu, "migrating " + t.name + " off");
+    }
+  }
+}
+
+// ---- wait queues & wakeups -------------------------------------------------------
+
+WaitQueueId Kernel::create_wait_queue(std::string name) {
+  wait_queues_.push_back(std::make_unique<WaitQueue>(std::move(name)));
+  return static_cast<WaitQueueId>(wait_queues_.size()) - 1;
+}
+
+WaitQueue& Kernel::wait_queue(WaitQueueId id) {
+  SIM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < wait_queues_.size());
+  return *wait_queues_[static_cast<std::size_t>(id)];
+}
+
+void Kernel::wake_up_one(WaitQueueId id) {
+  Task* t = wait_queue(id).pop_first();
+  if (t != nullptr) {
+    t->waiting_on = kNoWaitQueue;
+    wake_task(*t);
+  }
+}
+
+void Kernel::wake_up_all(WaitQueueId id) {
+  while (Task* t = wait_queue(id).pop_first()) {
+    t->waiting_on = kNoWaitQueue;
+    wake_task(*t);
+  }
+}
+
+void Kernel::wake_task(Task& t) {
+  if (t.state != TaskState::kBlocked) return;
+  if (t.waiting_on != kNoWaitQueue) {
+    wait_queue(t.waiting_on).remove(t);
+    t.waiting_on = kNoWaitQueue;
+  }
+  make_runnable(t);
+}
+
+void Kernel::make_runnable(Task& t) {
+  SIM_ASSERT(t.state != TaskState::kRunning && !t.on_runqueue);
+  t.state = TaskState::kReady;
+  t.last_wake = engine_.now();
+  t.freshly_woken = true;
+  auditor_.task_woken(engine_.now());
+  hw::CpuId target = sched_->select_cpu(
+      t, t.effective_affinity, [this](hw::CpuId c) { return cpu_idle(c); });
+  if (t.is_rt() && !cpu_idle(target)) {
+    // reschedule_idle() semantics for RT wakeups: with no idle CPU, place
+    // the task where it can preempt soonest — a CPU whose current context
+    // is immediately preemptible beats one stuck in a non-preemptible
+    // syscall or a bottom-half storm.
+    int best_score = -1;
+    t.effective_affinity.for_each([&](hw::CpuId c) {
+      const CpuState& cs = cpu(c);
+      int score = 0;
+      if (cpu_idle(c)) {
+        score = 4;
+      } else if (cs.switching || !cs.irq_frames.empty()) {
+        score = 1;
+      } else if (cs.current != nullptr && sched_->preempts(t, *cs.current)) {
+        score = cs.current->in_user_mode() || kernel_preemptible(*cs.current)
+                    ? 3
+                    : 1;
+      }
+      if (score > best_score) {
+        best_score = score;
+        target = c;
+      }
+    });
+  }
+  SIM_ASSERT(t.effective_affinity.test(target));
+  sched_->enqueue(t, target);
+  check_preempt(target, t);
+}
+
+// ---- kernel timers ------------------------------------------------------------------
+
+sim::Time Kernel::quantize_expiry(sim::Time ideal) const {
+  if (cfg_.posix_timers) return ideal;
+  // Classic 2.4: the timer wheel runs off the jiffy tick; an expiry lands
+  // on the first tick at or after its ideal time.
+  const sim::Duration p = cfg_.local_timer_period;
+  return (ideal + p - 1) / p * p;
+}
+
+Kernel::TimerId Kernel::arm_periodic_timer(WaitQueueId wq,
+                                           sim::Duration period) {
+  SIM_ASSERT(period > 0);
+  SIM_ASSERT(wq != kNoWaitQueue);
+  const auto id = static_cast<TimerId>(timers_.size());
+  KernelTimer timer;
+  timer.wq = wq;
+  timer.period = period;
+  timer.armed = true;
+  timers_.push_back(timer);
+  const sim::Time at =
+      std::max(quantize_expiry(engine_.now() + period), engine_.now() + 1);
+  timers_[static_cast<std::size_t>(id)].pending =
+      engine_.schedule_at(at, [this, id] { timer_fire(id); });
+  return id;
+}
+
+void Kernel::timer_fire(TimerId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (!timers_[idx].armed) return;
+  timers_[idx].expirations++;
+  timers_[idx].last_expiry = engine_.now();
+  // Timer-wheel expiry processing happens in bottom-half context; charge a
+  // small amount of work where the expiry ran (CPU 0: the 2.4 wheel was
+  // driven from the boot CPU's tick).
+  cpu_mut(0).softirq.raise(SoftirqType::kTimer, 2 * sim::kMicrosecond);
+  // NOTE: waking may run behaviors that arm new timers, reallocating
+  // timers_ — never hold a reference across this call.
+  wake_up_all(timers_[idx].wq);
+  if (!timers_[idx].armed) return;  // a woken task may have cancelled us
+  const sim::Time ideal_next = engine_.now() + timers_[idx].period;
+  const sim::Time at =
+      std::max(quantize_expiry(ideal_next), engine_.now() + 1);
+  timers_[idx].pending =
+      engine_.schedule_at(at, [this, id] { timer_fire(id); });
+}
+
+void Kernel::cancel_timer(TimerId id) {
+  SIM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < timers_.size());
+  KernelTimer& t = timers_[static_cast<std::size_t>(id)];
+  if (!t.armed) return;
+  t.armed = false;
+  engine_.cancel(t.pending);
+}
+
+std::uint64_t Kernel::timer_expirations(TimerId id) const {
+  SIM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < timers_.size());
+  return timers_[static_cast<std::size_t>(id)].expirations;
+}
+
+sim::Time Kernel::timer_last_expiry(TimerId id) const {
+  SIM_ASSERT(id >= 0 && static_cast<std::size_t>(id) < timers_.size());
+  return timers_[static_cast<std::size_t>(id)].last_expiry;
+}
+
+// ---- softirq policy --------------------------------------------------------------
+
+void Kernel::raise_softirq(hw::CpuId cpu, SoftirqType type, sim::Duration work) {
+  if (work == 0) return;
+  CpuState& cs = cpu_mut(cpu);
+  cs.softirq.raise(type, work);
+  // Raised from task context (no irq frame active on that CPU): the real
+  // kernel would run do_softirq at local_bh_enable; we hand the work to
+  // ksoftirqd, which is immediately runnable.
+  const bool in_irq_context = !cs.irq_frames.empty();
+  if (!in_irq_context && cs.ksoftirqd_wq != kNoWaitQueue) {
+    wake_up_one(cs.ksoftirqd_wq);
+  }
+}
+
+// ---- locks ------------------------------------------------------------------------
+
+SpinLock& Kernel::lock(LockId id) {
+  SIM_ASSERT(id != LockId::kCount);
+  return locks_[static_cast<std::size_t>(id)];
+}
+
+// ---- sampling ------------------------------------------------------------------------
+
+sim::Duration Kernel::sample_section() {
+  return rng_.bounded_pareto_duration(cfg_.section_min, cfg_.section_max,
+                                      cfg_.section_alpha);
+}
+
+sim::Duration Kernel::sample_syscall_body(sim::Duration typical) {
+  if (typical == 0) return 0;
+  if (typical >= cfg_.syscall_body_max) return cfg_.syscall_body_max;
+  // Common case: exponential around the typical value, clamped so routine
+  // calls stay routine. Rare case: the pathological long operation.
+  const sim::Duration knee =
+      std::min(std::max<sim::Duration>(8 * typical, 2 * sim::kMillisecond),
+               cfg_.syscall_body_max);
+  if (rng_.chance(cfg_.body_long_probability) && knee < cfg_.syscall_body_max) {
+    return rng_.bounded_pareto_duration(knee, cfg_.syscall_body_max,
+                                        cfg_.body_long_alpha);
+  }
+  return std::min(rng_.exponential_duration(typical), knee);
+}
+
+// ---- introspection ----------------------------------------------------------------
+
+Task* Kernel::find_task(Pid pid) {
+  for (auto& t : tasks_) {
+    if (t->pid == pid) return t.get();
+  }
+  return nullptr;
+}
+
+Task* Kernel::find_task(const std::string& name) {
+  for (auto& t : tasks_) {
+    if (t->name == name) return t.get();
+  }
+  return nullptr;
+}
+
+// ---- procfs ---------------------------------------------------------------------------
+
+void Kernel::register_proc_files() {
+  for (hw::Irq irq = 0; irq < hw::kMaxIrq; ++irq) {
+    const std::string path =
+        "/proc/irq/" + std::to_string(irq) + "/smp_affinity";
+    procfs_.register_file(
+        path, [this, irq] { return ic_.affinity(irq).to_hex() + "\n"; },
+        [this, irq](std::string_view data) {
+          hw::CpuMask mask;
+          if (!hw::CpuMask::parse_hex(data, mask)) return false;
+          if ((mask & topo_.all_cpus()).empty()) return false;
+          ic_.set_affinity(irq, mask);
+          return true;
+        });
+  }
+  procfs_.register_file("/proc/interrupts", [this] {
+    std::string out = "           ";
+    for (int c = 0; c < topo_.logical_cpus(); ++c) {
+      out += "CPU" + std::to_string(c) + "        ";
+    }
+    out += "\n";
+    for (hw::Irq irq = 0; irq < hw::kMaxIrq; ++irq) {
+      if (ic_.raise_count(irq) == 0) continue;
+      out += std::to_string(irq) + ":  ";
+      for (int c = 0; c < topo_.logical_cpus(); ++c) {
+        out += std::to_string(ic_.delivery_count(irq, c)) + "  ";
+      }
+      out += "\n";
+    }
+    return out;
+  });
+}
+
+// ---- sleep rounding ---------------------------------------------------------------------
+
+sim::Duration Kernel::round_sleep(sim::Duration requested) const {
+  if (cfg_.posix_timers) return requested;
+  // Classic 2.4: the wakeup lands on the next tick at or after expiry.
+  const sim::Duration p = cfg_.local_timer_period;
+  return (requested + p - 1) / p * p;
+}
+
+}  // namespace kernel

@@ -1,0 +1,33 @@
+#include "kernel/kernel_ops.h"
+
+namespace kernel {
+
+const char* to_string(LockId id) {
+  switch (id) {
+    case LockId::kBkl: return "BKL";
+    case LockId::kFs: return "fs_lock";
+    case LockId::kDcache: return "dcache_lock";
+    case LockId::kRtc: return "rtc_lock";
+    case LockId::kSocket: return "socket_lock";
+    case LockId::kPipe: return "pipe_lock";
+    case LockId::kMm: return "mm_lock";
+    case LockId::kIoRequest: return "io_request_lock";
+    case LockId::kRcim: return "rcim_lock";
+    case LockId::kCount: return "?";
+  }
+  return "?";
+}
+
+const char* to_string(SoftirqType t) {
+  switch (t) {
+    case SoftirqType::kTimer: return "timer";
+    case SoftirqType::kNetRx: return "net_rx";
+    case SoftirqType::kNetTx: return "net_tx";
+    case SoftirqType::kBlock: return "block";
+    case SoftirqType::kTasklet: return "tasklet";
+    case SoftirqType::kCount: return "?";
+  }
+  return "?";
+}
+
+}  // namespace kernel

@@ -1,0 +1,40 @@
+#include "kernel/procfs.h"
+
+#include "sim/assert.h"
+
+namespace kernel {
+
+void ProcFs::register_file(std::string path, ReadFn read, WriteFn write) {
+  SIM_ASSERT_MSG(!path.empty() && path.front() == '/', "procfs paths are absolute");
+  files_[std::move(path)] = Node{std::move(read), std::move(write)};
+}
+
+bool ProcFs::exists(const std::string& path) const {
+  return files_.contains(path);
+}
+
+std::optional<std::string> ProcFs::read(const std::string& path) const {
+  const auto it = files_.find(path);
+  if (it == files_.end() || !it->second.read) return std::nullopt;
+  return it->second.read();
+}
+
+bool ProcFs::write(const std::string& path, std::string_view data) {
+  const auto it = files_.find(path);
+  if (it == files_.end() || !it->second.write) return false;
+  return it->second.write(data);
+}
+
+bool ProcFs::remove(const std::string& path) {
+  return files_.erase(path) > 0;
+}
+
+std::vector<std::string> ProcFs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, node] : files_) {
+    if (path.starts_with(prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace kernel

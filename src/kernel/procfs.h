@@ -1,0 +1,51 @@
+// /proc filesystem emulation (control plane).
+//
+// The paper's administrative interface is procfs: `/proc/irq/N/smp_affinity`
+// for interrupt affinity (stock Linux) and the new `/proc/shield/{procs,
+// irqs,ltmr}` files for shielding. Files are registered with read/write
+// handlers; reads and writes carry the same hex-mask text format as the
+// real files.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kernel {
+
+class ProcFs {
+ public:
+  using ReadFn = std::function<std::string()>;
+  using WriteFn = std::function<bool(std::string_view)>;
+
+  /// Register a file. `write` may be null for read-only files.
+  void register_file(std::string path, ReadFn read, WriteFn write = nullptr);
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  /// Read a file's contents; nullopt if the path does not exist.
+  [[nodiscard]] std::optional<std::string> read(const std::string& path) const;
+
+  /// Write to a file. Returns false if the path does not exist, is
+  /// read-only, or the handler rejected the data (EINVAL).
+  bool write(const std::string& path, std::string_view data);
+
+  /// All registered paths under a prefix, sorted.
+  [[nodiscard]] std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Unregister a file (process exit removes /proc/<pid>). Returns false
+  /// if the path was not registered.
+  bool remove(const std::string& path);
+
+ private:
+  struct Node {
+    ReadFn read;
+    WriteFn write;
+  };
+  std::map<std::string, Node> files_;
+};
+
+}  // namespace kernel

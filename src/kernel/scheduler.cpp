@@ -1,0 +1,13 @@
+#include "kernel/scheduler.h"
+
+namespace kernel {
+
+bool Scheduler::preempts(const Task& cand, const Task& cur) const {
+  if (cand.is_rt() || cur.is_rt()) {
+    return cand.static_priority() > cur.static_priority();
+  }
+  // OTHER vs OTHER: rotation happens on timeslice expiry, not at wakeup.
+  return false;
+}
+
+}  // namespace kernel

@@ -1,0 +1,65 @@
+// Scheduler interface.
+//
+// Two implementations reproduce the paper's comparison points:
+//  * GoodnessScheduler — the stock 2.4 scheduler: one global runqueue,
+//    O(n) goodness() scan on every pick.
+//  * O1Scheduler — Molnar's O(1) scheduler (adopted by RedHawk): per-CPU
+//    140-priority bitmap runqueues, constant-time pick.
+//
+// The interface exposes exactly what the kernel core needs: queue
+// membership, wake placement, pick + its modelled cost, preemption
+// comparison, and tick-driven timeslice accounting.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "config/kernel_config.h"
+#include "hw/cpu_mask.h"
+#include "hw/types.h"
+#include "kernel/task.h"
+
+namespace kernel {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void init(int ncpus) = 0;
+
+  /// Place a runnable task on `cpu`'s queue (the goodness scheduler ignores
+  /// the CPU — its queue is global).
+  virtual void enqueue(Task& t, hw::CpuId cpu) = 0;
+
+  /// Remove a task from whatever queue holds it.
+  virtual void dequeue(Task& t) = 0;
+
+  /// Pick (and dequeue) the next task to run on `cpu`, or nullptr for idle.
+  /// Honors task affinity masks.
+  virtual Task* pick_next(hw::CpuId cpu) = 0;
+
+  /// Modelled CPU cost of the pick that just happened (runqueue lock +
+  /// scan). Called immediately after pick_next.
+  virtual sim::Duration pick_cost(hw::CpuId cpu) = 0;
+
+  /// Choose the CPU on which to make a waking task runnable.
+  virtual hw::CpuId select_cpu(const Task& t, hw::CpuMask allowed,
+                               const std::function<bool(hw::CpuId)>& is_idle) = 0;
+
+  /// Does `cand` preempt `cur` at wakeup? Static-priority rule shared by
+  /// both schedulers: RT beats OTHER, higher rt_priority beats lower, and
+  /// OTHER tasks never wake-preempt each other (timeslices rotate them).
+  [[nodiscard]] virtual bool preempts(const Task& cand, const Task& cur) const;
+
+  /// Local-timer tick for the running task; returns true if the timeslice
+  /// expired and a reschedule should be requested.
+  virtual bool task_tick(Task& t, hw::CpuId cpu) = 0;
+
+  /// Refill the timeslice when a task is granted the CPU.
+  virtual void refresh_timeslice(Task& t) = 0;
+
+  [[nodiscard]] virtual std::size_t nr_runnable(hw::CpuId cpu) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace kernel

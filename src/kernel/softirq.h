@@ -1,0 +1,66 @@
+// Per-CPU softirq (bottom-half) bookkeeping.
+//
+// Device hardirq handlers are short; the real work — protocol processing,
+// block completion — is queued here as *pending nanoseconds of work* per
+// softirq type, then drained either in interrupt context (vanilla 2.4) or,
+// beyond a budget, in ksoftirqd (the RedHawk change). Multi-millisecond
+// drains in interrupt context are the §6.2 latency mechanism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "kernel/kernel_ops.h"
+#include "sim/time.h"
+
+namespace kernel {
+
+class SoftirqPending {
+ public:
+  static constexpr int kTypes = static_cast<int>(SoftirqType::kCount);
+
+  void raise(SoftirqType t, sim::Duration work) {
+    pending_[idx(t)] += work;
+    raised_[idx(t)]++;
+  }
+
+  [[nodiscard]] sim::Duration pending(SoftirqType t) const {
+    return pending_[idx(t)];
+  }
+
+  [[nodiscard]] sim::Duration total_pending() const {
+    sim::Duration sum = 0;
+    for (auto d : pending_) sum += d;
+    return sum;
+  }
+
+  [[nodiscard]] bool any_pending() const { return total_pending() > 0; }
+
+  /// Take up to `budget` ns of pending work (all types, round-robin by
+  /// type order) and mark it consumed. Returns the amount taken.
+  sim::Duration take(sim::Duration budget) {
+    sim::Duration taken = 0;
+    for (auto& p : pending_) {
+      if (taken >= budget) break;
+      const sim::Duration slice = p < budget - taken ? p : budget - taken;
+      p -= slice;
+      taken += slice;
+    }
+    executed_ += taken;
+    return taken;
+  }
+
+  [[nodiscard]] std::uint64_t raise_count(SoftirqType t) const {
+    return raised_[idx(t)];
+  }
+  [[nodiscard]] sim::Duration total_executed() const { return executed_; }
+
+ private:
+  static std::size_t idx(SoftirqType t) { return static_cast<std::size_t>(t); }
+
+  std::array<sim::Duration, kTypes> pending_{};
+  std::array<std::uint64_t, kTypes> raised_{};
+  sim::Duration executed_ = 0;
+};
+
+}  // namespace kernel

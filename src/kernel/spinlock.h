@@ -1,0 +1,72 @@
+// Spinlock model.
+//
+// Identity + holder + FIFO waiter list. Hold *time* comes from the ops
+// between OpLock and OpUnlock; this class only tracks who holds and who
+// spins. The distinction the paper's §6.2 turns on is `irq_safe`:
+//  * irq-safe locks disable interrupts on the holding CPU, so the holder
+//    cannot be perforated by interrupt + bottom-half processing;
+//  * non-irq-safe locks leave interrupts open — a bottom-half storm on the
+//    holder's CPU stretches the *observed* hold time by milliseconds, and
+//    every spinner eats that delay.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "kernel/kernel_ops.h"
+#include "kernel/task.h"
+
+namespace kernel {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(LockId id, bool irq_safe) : id_(id), irq_safe_(irq_safe) {}
+
+  [[nodiscard]] LockId id() const { return id_; }
+  [[nodiscard]] bool irq_safe() const { return irq_safe_; }
+  [[nodiscard]] bool held() const { return holder_ != nullptr; }
+  [[nodiscard]] Task* holder() const { return holder_; }
+
+  /// Take the lock if free. Returns true on success.
+  bool try_acquire(Task& t) {
+    if (holder_ != nullptr) return false;
+    holder_ = &t;
+    ++acquisitions_;
+    return true;
+  }
+
+  /// Register a spinning waiter (FIFO).
+  void add_waiter(Task& t) {
+    waiters_.push_back(&t);
+    ++contentions_;
+  }
+
+  void remove_waiter(Task& t) { std::erase(waiters_, &t); }
+
+  /// Release; returns the next waiter (now the owner) or nullptr.
+  Task* release_and_grant() {
+    holder_ = nullptr;
+    if (waiters_.empty()) return nullptr;
+    Task* next = waiters_.front();
+    waiters_.pop_front();
+    holder_ = next;
+    ++acquisitions_;
+    return next;
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+  [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_; }
+  [[nodiscard]] std::uint64_t contentions() const { return contentions_; }
+
+ private:
+  LockId id_ = LockId::kCount;
+  bool irq_safe_ = false;
+  Task* holder_ = nullptr;
+  std::deque<Task*> waiters_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contentions_ = 0;
+};
+
+}  // namespace kernel

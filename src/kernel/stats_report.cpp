@@ -1,0 +1,89 @@
+#include "kernel/stats_report.h"
+
+#include <cstdio>
+
+namespace kernel {
+
+namespace {
+
+char state_char(TaskState s) {
+  switch (s) {
+    case TaskState::kRunning: return 'R';
+    case TaskState::kReady: return 'r';
+    case TaskState::kBlocked: return 'S';
+    case TaskState::kExited: return 'Z';
+    case TaskState::kNew: return 'N';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string format_task_table(const Kernel& k) {
+  std::string out =
+      "  PID NAME             POL  PRIO ST CPU      UTIME      STIME "
+      "  UTCK  STCK   SWITCH    MIGR     SYSC   FAULTS\n";
+  char line[256];
+  for (const auto& t : k.tasks()) {
+    std::snprintf(
+        line, sizeof line,
+        "%5d %-16s %-4s %5d  %c %3d %10s %10s %6llu %5llu %8llu %7llu %8llu %8llu\n",
+        t->pid, t->name.c_str(),
+        t->policy == SchedPolicy::kFifo  ? "FIFO"
+        : t->policy == SchedPolicy::kRr  ? "RR"
+                                         : "OTH",
+        t->is_rt() ? t->rt_priority : t->nice, state_char(t->state), t->cpu,
+        sim::format_duration(t->utime).c_str(),
+        sim::format_duration(t->stime).c_str(),
+        static_cast<unsigned long long>(t->utime_ticks),
+        static_cast<unsigned long long>(t->stime_ticks),
+        static_cast<unsigned long long>(t->ctx_switches),
+        static_cast<unsigned long long>(t->migrations),
+        static_cast<unsigned long long>(t->syscalls),
+        static_cast<unsigned long long>(t->minor_faults));
+    out += line;
+  }
+  return out;
+}
+
+std::string format_cpu_table(const Kernel& k) {
+  std::string out =
+      "  CPU  HARDIRQ   SWITCHES    IRQ-TIME  SOFTIRQ-TIME  BH-PENDING  "
+      "CURRENT\n";
+  char line[256];
+  for (int c = 0; c < k.ncpus(); ++c) {
+    const CpuState& cs = k.cpu(c);
+    std::snprintf(line, sizeof line, "  %3d %8llu %10llu %11s %13s %11s  %s\n",
+                  c, static_cast<unsigned long long>(cs.hardirqs),
+                  static_cast<unsigned long long>(cs.switches),
+                  sim::format_duration(cs.irq_time).c_str(),
+                  sim::format_duration(cs.softirq_time).c_str(),
+                  sim::format_duration(cs.softirq.total_pending()).c_str(),
+                  cs.current != nullptr ? cs.current->name.c_str() : "(idle)");
+    out += line;
+  }
+  return out;
+}
+
+std::string format_lock_table(Kernel& k) {
+  std::string out = "  LOCK             IRQ-SAFE  ACQUISITIONS  CONTENTIONS\n";
+  char line[256];
+  for (int i = 0; i < static_cast<int>(LockId::kCount); ++i) {
+    const auto id = static_cast<LockId>(i);
+    const SpinLock& l = k.lock(id);
+    if (l.acquisitions() == 0) continue;
+    std::snprintf(line, sizeof line, "  %-16s %8s %13llu %12llu\n",
+                  to_string(id), l.irq_safe() ? "yes" : "no",
+                  static_cast<unsigned long long>(l.acquisitions()),
+                  static_cast<unsigned long long>(l.contentions()));
+    out += line;
+  }
+  return out;
+}
+
+std::string format_system_report(Kernel& k) {
+  return "== tasks ==\n" + format_task_table(k) + "\n== cpus ==\n" +
+         format_cpu_table(k) + "\n== locks ==\n" + format_lock_table(k);
+}
+
+}  // namespace kernel

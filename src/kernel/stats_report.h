@@ -1,0 +1,25 @@
+// Human-readable system state reports (ps/vmstat-style), for examples,
+// benches, and debugging.
+#pragma once
+
+#include <string>
+
+#include "kernel/kernel.h"
+
+namespace kernel {
+
+/// Per-task table: pid, name, policy, priority, state, CPU, precise and
+/// tick-sampled times, switches, migrations, syscalls, faults.
+std::string format_task_table(const Kernel& k);
+
+/// Per-CPU table: hardirqs, context switches, irq/softirq time, pending
+/// bottom-half work, current task.
+std::string format_cpu_table(const Kernel& k);
+
+/// Lock contention table.
+std::string format_lock_table(Kernel& k);
+
+/// Everything above, concatenated.
+std::string format_system_report(Kernel& k);
+
+}  // namespace kernel

@@ -1,0 +1,134 @@
+#include "kernel/syscalls.h"
+
+#include <utility>
+
+namespace kernel::sys {
+
+using namespace sim::literals;
+
+namespace {
+
+/// Split a sampled body into (preamble, sections..., tail) so critical
+/// sections sit inside realistic non-critical work.
+void add_body_with_section(ProgramBuilder& b, Kernel& k, LockId lock,
+                           sim::Duration body) {
+  const sim::Duration section = k.sample_section();
+  const sim::Duration pre = body / 3;
+  const sim::Duration post = body - pre;
+  if (pre > 0) b.work(pre, 0.4);
+  b.section(lock, section, 0.5);
+  if (post > 0) b.work(post, 0.4);
+}
+
+}  // namespace
+
+KernelProgram fs_op(Kernel& k, sim::Duration body_typical) {
+  ProgramBuilder b;
+  // In 2.4 a sizeable fraction of fs-path syscalls (open, llseek, ioctl,
+  // fcntl...) grabbed the Big Kernel Lock — the reason §6.3 calls the BKL
+  // "one of the most highly contended spin locks in Linux". The hold is a
+  // critical-section-length stretch, so the low-latency patches (and
+  // RedHawk's "BKL hold time reduction", §1) shorten it along with every
+  // other section.
+  if (k.rng().chance(0.30)) {
+    b.section(LockId::kBkl, k.sample_section(), 0.45);
+  }
+  b.section(LockId::kDcache, k.sample_section(), 0.5);
+  add_body_with_section(b, k, LockId::kFs, k.sample_syscall_body(body_typical));
+  return std::move(b).build();
+}
+
+KernelProgram fs_io(Kernel& k, sim::Duration body_typical,
+                    std::function<void(Kernel&, Task&)> submit,
+                    WaitQueueId io_wq) {
+  ProgramBuilder b;
+  b.section(LockId::kDcache, k.sample_section(), 0.5);
+  add_body_with_section(b, k, LockId::kFs, k.sample_syscall_body(body_typical));
+  // Queue the request under the (irq-safe) block-layer lock, then sleep
+  // until the completion interrupt wakes us.
+  b.lock(LockId::kIoRequest).work(2_us, 0.4).effect(std::move(submit))
+      .unlock(LockId::kIoRequest);
+  b.block(io_wq);
+  b.work(3_us, 0.5);  // completion bookkeeping back in task context
+  return std::move(b).build();
+}
+
+KernelProgram socket_op(Kernel& k, sim::Duration proto_work,
+                        std::function<void(Kernel&, Task&)> wire_effect) {
+  ProgramBuilder b;
+  add_body_with_section(b, k, LockId::kSocket,
+                        k.sample_syscall_body(proto_work));
+  if (wire_effect) b.effect(std::move(wire_effect));
+  return std::move(b).build();
+}
+
+KernelProgram socket_recv(Kernel& k, WaitQueueId rx_wq) {
+  ProgramBuilder b;
+  b.section(LockId::kSocket, k.sample_section(), 0.5);
+  b.block(rx_wq);
+  b.section(LockId::kSocket, k.sample_section(), 0.5);
+  b.work(5_us, 0.6);  // copy to user
+  return std::move(b).build();
+}
+
+KernelProgram pipe_op(Kernel& k, sim::Duration copy_work, WaitQueueId peer_wq) {
+  ProgramBuilder b;
+  b.lock(LockId::kPipe).work(k.sample_section(), 0.5);
+  if (copy_work > 0) b.work(copy_work, 0.7);
+  b.unlock(LockId::kPipe);
+  if (peer_wq != kNoWaitQueue) {
+    b.effect([peer_wq](Kernel& kk, Task&) { kk.wake_up_one(peer_wq); });
+  }
+  return std::move(b).build();
+}
+
+KernelProgram mm_op(Kernel& k, sim::Duration body_typical) {
+  ProgramBuilder b;
+  add_body_with_section(b, k, LockId::kMm, k.sample_syscall_body(body_typical));
+  return std::move(b).build();
+}
+
+KernelProgram fault_storm(Kernel& k) {
+  // CRASHME: jump into random bytes → fault after fault; exception entry,
+  // mm sections, signal setup. Bodies come from the heavy tail.
+  ProgramBuilder b;
+  b.work(1_us, 0.5);  // exception entry
+  add_body_with_section(b, k, LockId::kMm, k.sample_syscall_body(120_us));
+  b.work(2_us, 0.4);  // signal frame setup
+  return std::move(b).build();
+}
+
+KernelProgram fork_exec(Kernel& k,
+                        std::function<void(Kernel&, Task&)> spawn_child) {
+  ProgramBuilder b;
+  // fork: copy mm under the mm lock, dup the fd table.
+  add_body_with_section(b, k, LockId::kMm, k.sample_syscall_body(250_us));
+  b.section(LockId::kFs, k.sample_section(), 0.5);
+  // execve: path lookup through the dcache, load the image.
+  b.section(LockId::kDcache, k.sample_section(), 0.5);
+  b.work(k.sample_syscall_body(120_us), 0.6);
+  b.effect(std::move(spawn_child));
+  return std::move(b).build();
+}
+
+KernelProgram wait_for_child(Kernel& k, WaitQueueId child_exit_wq) {
+  ProgramBuilder b;
+  b.work(2_us, 0.3);  // scan children for zombies
+  b.block(child_exit_wq);
+  b.work(k.sample_section(), 0.4);  // release the task struct
+  return std::move(b).build();
+}
+
+KernelProgram ioctl_op(Kernel& k, bool driver_multithreaded_flag,
+                       KernelProgram body) {
+  const bool skip_bkl =
+      k.config().bkl_ioctl_flag && driver_multithreaded_flag;
+  ProgramBuilder b;
+  b.work(400_ns, 0.3);  // fd lookup + generic ioctl dispatch
+  if (!skip_bkl) b.lock(LockId::kBkl);
+  b.append(body);
+  if (!skip_bkl) b.unlock(LockId::kBkl);
+  return std::move(b).build();
+}
+
+}  // namespace kernel::sys

@@ -1,0 +1,68 @@
+// Generic syscall program builders.
+//
+// Workloads call these to synthesise kernel paths with the right *shape*:
+// which locks they take, how long the critical sections are (sampled from
+// the kernel's distribution), how much non-preemptible body work runs, and
+// which devices they touch. The figure-level behaviour of the whole model —
+// 92 ms worst case on vanilla, sub-millisecond on RedHawk — emerges from
+// these shapes interacting with the preemption rules.
+#pragma once
+
+#include <functional>
+
+#include "kernel/kernel.h"
+#include "kernel/kernel_ops.h"
+
+namespace kernel::sys {
+
+/// A filesystem metadata/data operation (open/stat/cat-style): dcache and
+/// fs-lock sections around a sampled body. `body_typical` scales the
+/// in-kernel work (the FS stress test uses large values; `ls` uses tiny).
+KernelProgram fs_op(Kernel& k, sim::Duration body_typical);
+
+/// A file read/write that goes to disk: fs sections, submit to the disk
+/// device, block until the completion handler wakes `io_wq`.
+/// `submit` runs in kernel context and must eventually cause a wake of
+/// `io_wq` (the disk driver's completion does this).
+KernelProgram fs_io(Kernel& k, sim::Duration body_typical,
+                    std::function<void(Kernel&, Task&)> submit,
+                    WaitQueueId io_wq);
+
+/// Socket send/receive path: socket-lock sections + protocol work; the
+/// `wire_effect` (e.g. NicDevice::tx) runs inside.
+KernelProgram socket_op(Kernel& k, sim::Duration proto_work,
+                        std::function<void(Kernel&, Task&)> wire_effect);
+
+/// Blocking socket receive: socket sections then sleep on `rx_wq` until the
+/// net-rx path delivers data.
+KernelProgram socket_recv(Kernel& k, WaitQueueId rx_wq);
+
+/// Pipe/FIFO transfer between processes (FIFOS_MMAP): pipe-lock sections +
+/// copy work; optionally wakes the peer's queue.
+KernelProgram pipe_op(Kernel& k, sim::Duration copy_work, WaitQueueId peer_wq);
+
+/// mmap/munmap/page-table manipulation (FIFOS_MMAP, CRASHME): mm-lock
+/// sections with a sampled body.
+KernelProgram mm_op(Kernel& k, sim::Duration body_typical);
+
+/// A fault/exception storm iteration (CRASHME): exception entry, mm
+/// sections, signal delivery work. Tends to the long-body tail.
+KernelProgram fault_storm(Kernel& k);
+
+/// ioctl() through the generic ioctl layer. Takes the BKL unless the
+/// kernel supports the per-driver no-BKL flag *and* the driver sets it
+/// (§6.3). `body` is the driver's own program.
+KernelProgram ioctl_op(Kernel& k, bool driver_multithreaded_flag,
+                       KernelProgram body);
+
+/// fork() + execve(): page-table copy under the mm lock, fd-table and
+/// dcache work, then `spawn_child` runs (in kernel context) to create the
+/// new task. The NFS-COMPILE workload churns processes through this.
+KernelProgram fork_exec(Kernel& k,
+                        std::function<void(Kernel&, Task&)> spawn_child);
+
+/// wait4()-ish: reap zombies, then block on `child_exit_wq` until a child's
+/// exit path wakes it.
+KernelProgram wait_for_child(Kernel& k, WaitQueueId child_exit_wq);
+
+}  // namespace kernel::sys

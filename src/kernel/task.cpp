@@ -1,0 +1,25 @@
+#include "kernel/task.h"
+
+namespace kernel {
+
+const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kOther: return "SCHED_OTHER";
+    case SchedPolicy::kFifo: return "SCHED_FIFO";
+    case SchedPolicy::kRr: return "SCHED_RR";
+  }
+  return "?";
+}
+
+const char* to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kNew: return "new";
+    case TaskState::kReady: return "ready";
+    case TaskState::kRunning: return "running";
+    case TaskState::kBlocked: return "blocked";
+    case TaskState::kExited: return "exited";
+  }
+  return "?";
+}
+
+}  // namespace kernel

@@ -1,0 +1,37 @@
+// Wait queues: where blocked tasks park until an event wakes them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "kernel/task.h"
+
+namespace kernel {
+
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  explicit WaitQueue(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool empty() const { return sleepers_.empty(); }
+  [[nodiscard]] std::size_t size() const { return sleepers_.size(); }
+
+  void add(Task& t) { sleepers_.push_back(&t); }
+  void remove(Task& t) { std::erase(sleepers_, &t); }
+
+  /// Dequeue the longest-waiting task, or nullptr.
+  Task* pop_first() {
+    if (sleepers_.empty()) return nullptr;
+    Task* t = sleepers_.front();
+    sleepers_.pop_front();
+    return t;
+  }
+
+ private:
+  std::string name_;
+  std::deque<Task*> sleepers_;
+};
+
+}  // namespace kernel

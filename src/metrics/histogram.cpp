@@ -1,0 +1,108 @@
+#include "metrics/histogram.h"
+
+#include <bit>
+
+#include "sim/assert.h"
+
+namespace metrics {
+
+int LatencyHistogram::bucket_index(sim::Duration v) {
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int msb = static_cast<int>(std::bit_width(v)) - 1;  // >= 5 here
+  const int shift = msb - 5;
+  const auto sub = static_cast<int>((v >> shift) - kSubBuckets);
+  const int octave = msb - 4;
+  const int index = octave * kSubBuckets + sub;
+  SIM_ASSERT(index < kBucketCount);
+  return index;
+}
+
+sim::Duration LatencyHistogram::bucket_lower_bound(int index) {
+  SIM_ASSERT(index >= 0 && index < kBucketCount);
+  if (index < kSubBuckets) return static_cast<sim::Duration>(index);
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return static_cast<sim::Duration>(kSubBuckets + sub) << (octave - 1);
+}
+
+void LatencyHistogram::add(sim::Duration latency) {
+  buckets_[static_cast<std::size_t>(bucket_index(latency))]++;
+  summary_.add_duration(latency);
+}
+
+std::uint64_t LatencyHistogram::count_below(sim::Duration threshold) const {
+  if (threshold == 0) return 0;
+  // All buckets wholly below the threshold, plus nothing partial: the
+  // boundary bucket may contain samples on either side, so we count buckets
+  // whose *upper* bound is <= threshold and then conservatively include the
+  // boundary bucket's samples only if its lower bound is below threshold and
+  // the threshold is >= its upper bound. For reporting at paper-style round
+  // thresholds (0.1 ms, 1 ms, ...) bucket resolution (~3%) makes the
+  // distinction negligible; we attribute the boundary bucket proportionally.
+  const int limit = bucket_index(threshold - 1);
+  std::uint64_t n = 0;
+  for (int i = 0; i < limit; ++i) n += buckets_[static_cast<std::size_t>(i)];
+  // Boundary bucket: include it fully if the threshold is at/above the next
+  // bucket's lower bound (i.e. the whole bucket is below the threshold).
+  const sim::Duration next_lo =
+      limit + 1 < kBucketCount ? bucket_lower_bound(limit + 1) : ~sim::Duration{0};
+  if (threshold >= next_lo) {
+    n += buckets_[static_cast<std::size_t>(limit)];
+  } else {
+    // Proportional attribution within the boundary bucket.
+    const sim::Duration lo = bucket_lower_bound(limit);
+    const double width = static_cast<double>(next_lo - lo);
+    const double frac = width <= 0 ? 1.0 : static_cast<double>(threshold - lo) / width;
+    n += static_cast<std::uint64_t>(
+        frac * static_cast<double>(buckets_[static_cast<std::size_t>(limit)]) + 0.5);
+  }
+  return n;
+}
+
+double LatencyHistogram::fraction_below(sim::Duration threshold) const {
+  if (count() == 0) return 0.0;
+  return static_cast<double>(count_below(threshold)) / static_cast<double>(count());
+}
+
+sim::Duration LatencyHistogram::percentile(double p) const {
+  SIM_ASSERT(count() > 0);
+  if (p <= 0.0) return min();
+  if (p >= 1.0) return max();
+  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(count()) + 0.5);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)];
+    if (cum >= target) {
+      const sim::Duration hi =
+          i + 1 < kBucketCount ? bucket_lower_bound(i + 1) - 1 : max();
+      return hi < max() ? hi : max();
+    }
+  }
+  return max();
+}
+
+std::vector<LatencyHistogram::Bucket> LatencyHistogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    const sim::Duration hi =
+        i + 1 < kBucketCount ? bucket_lower_bound(i + 1) : ~sim::Duration{0};
+    out.push_back(Bucket{bucket_lower_bound(i), hi, c});
+  }
+  return out;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+  summary_.merge(other.summary_);
+}
+
+void LatencyHistogram::clear() {
+  buckets_.fill(0);
+  summary_ = Summary{};
+}
+
+}  // namespace metrics

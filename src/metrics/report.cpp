@@ -1,0 +1,148 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/assert.h"
+
+namespace metrics {
+namespace {
+
+std::string with_commas(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::string determinism_legend(sim::Duration ideal, sim::Duration max_observed) {
+  SIM_ASSERT(max_observed >= ideal);
+  const sim::Duration jitter = max_observed - ideal;
+  const double pct =
+      100.0 * static_cast<double>(jitter) / static_cast<double>(ideal);
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "ideal: %.6f sec   max: %.6f sec   jitter: %.6f sec (%.2f%%)",
+                sim::to_seconds(ideal), sim::to_seconds(max_observed),
+                sim::to_seconds(jitter), pct);
+  return buf;
+}
+
+std::string cumulative_bucket_table(const LatencyHistogram& hist,
+                                    std::span<const sim::Duration> thresholds) {
+  std::ostringstream os;
+  os << with_commas(hist.count()) << " measured interrupts,  max latency: "
+     << sim::format_duration(hist.max()) << "\n";
+  for (sim::Duration t : thresholds) {
+    const std::uint64_t n = hist.count_below(t);
+    const double pct =
+        hist.count() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(n) / static_cast<double>(hist.count());
+    char line[128];
+    std::snprintf(line, sizeof line, "%16s samples < %6.2fms (%8.4f%%)\n",
+                  with_commas(n).c_str(), sim::to_millis(t), pct);
+    os << line;
+    if (n == hist.count()) break;  // ladder saturated, as in the paper
+  }
+  return os.str();
+}
+
+std::vector<sim::Duration> figure5_thresholds() {
+  using namespace sim::literals;
+  return {100'000_ns, 200'000_ns, 1_ms,  2_ms,  5_ms,  10_ms, 20_ms, 30_ms,
+          40_ms,      50_ms,      60_ms, 70_ms, 80_ms, 90_ms, 100_ms};
+}
+
+std::string min_avg_max_line(const LatencyHistogram& hist) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "minimum latency: %.1f microseconds\n"
+                "maximum latency: %.1f microseconds\n"
+                "average latency: %.1f microseconds\n",
+                sim::to_micros(hist.min()), sim::to_micros(hist.max()),
+                sim::to_micros(hist.mean()));
+  return buf;
+}
+
+std::string ascii_histogram(const LatencyHistogram& hist, int bins, int height) {
+  if (hist.count() == 0) return "(no samples)\n";
+  SIM_ASSERT(bins > 0 && height > 0);
+  const sim::Duration lo = hist.min();
+  const sim::Duration hi = std::max(hist.max(), lo + 1);
+  std::vector<double> bar(static_cast<std::size_t>(bins), 0.0);
+  for (const auto& b : hist.nonzero_buckets()) {
+    const sim::Duration mid = b.lo / 2 + std::min(b.hi, hi) / 2;
+    const auto clamped = std::clamp(mid, lo, hi);
+    auto idx = static_cast<std::size_t>(
+        static_cast<double>(clamped - lo) / static_cast<double>(hi - lo) *
+        (bins - 1));
+    bar[idx] += static_cast<double>(b.count);
+  }
+  double peak = 0.0;
+  for (double v : bar) peak = std::max(peak, v);
+  const double log_peak = std::log10(peak + 1.0);
+  std::ostringstream os;
+  for (int row = height; row >= 1; --row) {
+    const double level = log_peak * row / height;
+    os << "  |";
+    for (int c = 0; c < bins; ++c) {
+      const double v = std::log10(bar[static_cast<std::size_t>(c)] + 1.0);
+      os << (v >= level && bar[static_cast<std::size_t>(c)] > 0 ? '#' : ' ');
+    }
+    os << "\n";
+  }
+  os << "  +" << std::string(static_cast<std::size_t>(bins), '-') << "\n";
+  char axis[160];
+  std::snprintf(axis, sizeof axis, "   %s%*s\n",
+                sim::format_duration(lo).c_str(), bins - 4,
+                sim::format_duration(hi).c_str());
+  os << axis << "  (log-scale sample counts; x = latency)\n";
+  return os.str();
+}
+
+std::string table_row(const std::string& label, const std::string& value) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "  %-40s %s\n", label.c_str(), value.c_str());
+  return buf;
+}
+
+std::string render_table(const std::string& title,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width;
+  for (const auto& row : rows) {
+    if (width.size() < row.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  bool first = true;
+  for (const auto& row : rows) {
+    os << "  ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i] << std::string(width[i] - row[i].size() + 2, ' ');
+    }
+    os << "\n";
+    if (first) {
+      std::size_t total = 2;
+      for (auto w : width) total += w + 2;
+      os << "  " << std::string(total, '-') << "\n";
+      first = false;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace metrics

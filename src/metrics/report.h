@@ -1,0 +1,48 @@
+// Renderers that print results in the shape the paper reports them.
+//
+// Figures 1-4 carry a legend of (ideal, max, jitter seconds, jitter %).
+// Figures 5-7 carry "N samples < X ms (P%)" bucket tables plus min/avg/max.
+// The ASCII plots substitute for the paper's graphs.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "sim/time.h"
+
+namespace metrics {
+
+/// Legend for the determinism figures (Figs 1-4):
+///   ideal: 1.150000 sec   max: 1.450000 sec   jitter: 0.300000 sec (26.17%)
+std::string determinism_legend(sim::Duration ideal, sim::Duration max_observed);
+
+/// Paper-style cumulative bucket table (Figs 5-6), e.g.
+///   59,447,640 samples < 0.1ms (99.140%)
+/// `thresholds` are the "< X" edges in nanoseconds.
+std::string cumulative_bucket_table(const LatencyHistogram& hist,
+                                    std::span<const sim::Duration> thresholds);
+
+/// The exact threshold ladder Figure 5 uses (0.1, 0.2, 1, 2, 5, 10, 20, 30,
+/// 40, 50, 60, 70, 80, 90, 100 ms).
+std::vector<sim::Duration> figure5_thresholds();
+
+/// min/avg/max line used for Figure 7:
+///   minimum latency: 11 microseconds ...
+std::string min_avg_max_line(const LatencyHistogram& hist);
+
+/// ASCII bar chart of a latency histogram with a logarithmic y axis,
+/// substituting for the paper's log-scale plots. `bins` x-axis bars between
+/// min and max (linear in latency).
+std::string ascii_histogram(const LatencyHistogram& hist, int bins = 50,
+                            int height = 12);
+
+/// One row of a results table: fixed-width label + free text.
+std::string table_row(const std::string& label, const std::string& value);
+
+/// Render a simple aligned table with a header rule.
+std::string render_table(const std::string& title,
+                         const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace metrics

@@ -1,0 +1,45 @@
+// Running summary statistics (Welford's online algorithm).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.h"
+
+namespace metrics {
+
+class Summary {
+ public:
+  void add(double x);
+  void add_duration(sim::Duration d) { add(static_cast<double>(d)); }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  [[nodiscard]] sim::Duration min_duration() const { return to_duration(min_); }
+  [[nodiscard]] sim::Duration max_duration() const { return to_duration(max_); }
+  [[nodiscard]] sim::Duration mean_duration() const { return to_duration(mean()); }
+
+  /// Merge another summary into this one (for parallel sweeps).
+  void merge(const Summary& other);
+
+ private:
+  static sim::Duration to_duration(double v) {
+    return v <= 0 ? 0 : static_cast<sim::Duration>(v + 0.5);
+  }
+
+  std::uint64_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace metrics

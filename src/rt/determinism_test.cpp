@@ -1,0 +1,62 @@
+#include "rt/determinism_test.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/assert.h"
+
+namespace rt {
+
+class DeterminismTest::Behavior final : public kernel::Behavior {
+ public:
+  explicit Behavior(DeterminismTest& owner) : owner_(owner) {}
+
+  kernel::Action next_action(kernel::Kernel& k, kernel::Task&) override {
+    const sim::Time now = k.now();  // rdtsc
+    if (started_) {
+      owner_.samples_.push_back(now - loop_start_);
+    }
+    if (static_cast<int>(owner_.samples_.size()) >=
+        owner_.params_.iterations) {
+      return kernel::ExitAction{};
+    }
+    started_ = true;
+    loop_start_ = now;
+    return kernel::ComputeAction{owner_.params_.loop_work,
+                                 owner_.params_.memory_intensity};
+  }
+
+ private:
+  DeterminismTest& owner_;
+  bool started_ = false;
+  sim::Time loop_start_ = 0;
+};
+
+DeterminismTest::DeterminismTest(kernel::Kernel& kernel, Params params)
+    : kernel_(kernel), params_(params) {
+  SIM_ASSERT(params_.iterations > 0 && params_.loop_work > 0);
+  kernel::Kernel::TaskParams tp;
+  tp.name = "determinism-test";
+  tp.policy = kernel::SchedPolicy::kFifo;
+  tp.rt_priority = params_.rt_priority;
+  tp.affinity = params_.affinity;
+  tp.mlocked = true;
+  tp.memory_intensity = params_.memory_intensity;
+  task_ = &kernel.create_task(std::move(tp), std::make_unique<Behavior>(*this));
+}
+
+sim::Duration DeterminismTest::max_observed() const {
+  sim::Duration m = 0;
+  for (const auto s : samples_) m = std::max(m, s);
+  return m;
+}
+
+metrics::LatencyHistogram DeterminismTest::excess_histogram() const {
+  metrics::LatencyHistogram h;
+  for (const auto s : samples_) {
+    h.add(s > params_.loop_work ? s - params_.loop_work : 0);
+  }
+  return h;
+}
+
+}  // namespace rt

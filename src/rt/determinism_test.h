@@ -1,0 +1,54 @@
+// The §5.1 execution-determinism test.
+//
+// A SCHED_FIFO, memory-locked task runs a CPU-bound double-precision sine
+// loop whose ideal duration is ~1.15 s, reading the TSC before and after.
+// Any excess over the ideal is jitter: interrupt service, bottom halves,
+// hyperthread contention and bus contention all land here.
+#pragma once
+
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "metrics/histogram.h"
+#include "metrics/summary.h"
+
+namespace rt {
+
+class DeterminismTest {
+ public:
+  struct Params {
+    /// Pure CPU work per iteration — the unloaded ("ideal") loop time.
+    sim::Duration loop_work = 1'150 * sim::kMillisecond;
+    int iterations = 60;
+    double memory_intensity = 0.25;  ///< sine loop: mostly registers + L1
+    int rt_priority = 90;
+    hw::CpuMask affinity;  ///< empty = all CPUs
+  };
+
+  DeterminismTest(kernel::Kernel& kernel, Params params);
+
+  /// The measuring task (pin/shield it before or after boot).
+  [[nodiscard]] kernel::Task& task() { return *task_; }
+
+  /// Per-iteration measured loop times (TSC deltas).
+  [[nodiscard]] const std::vector<sim::Duration>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool done() const {
+    return static_cast<int>(samples_.size()) >= params_.iterations;
+  }
+  [[nodiscard]] sim::Duration ideal() const { return params_.loop_work; }
+  [[nodiscard]] sim::Duration max_observed() const;
+  /// Histogram of (sample - ideal) excesses, for the figures' x axis.
+  [[nodiscard]] metrics::LatencyHistogram excess_histogram() const;
+
+ private:
+  class Behavior;
+
+  kernel::Kernel& kernel_;
+  Params params_;
+  kernel::Task* task_ = nullptr;
+  std::vector<sim::Duration> samples_;
+};
+
+}  // namespace rt

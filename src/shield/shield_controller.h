@@ -1,0 +1,69 @@
+// Shielded-processor controller — the paper's primary contribution (§3).
+//
+// Three independent shield masks, exactly as in RedHawk's /proc/shield:
+//  * procs — processes may run on a shielded CPU only if their affinity
+//    contains *only* shielded CPUs;
+//  * irqs  — device interrupt lines are steered away from shielded CPUs
+//    unless their affinity contains only shielded CPUs;
+//  * ltmr  — the per-CPU local timer interrupt is disabled on these CPUs.
+//
+// Writing a mask dynamically re-applies everything: running/queued tasks
+// are migrated off, interrupt affinities are rewritten, and the local
+// timer is reprogrammed — "the ability to dynamically enable CPU shielding
+// allows a developer to easily make modifications when tuning".
+#pragma once
+
+#include <array>
+
+#include "hw/cpu_mask.h"
+#include "hw/interrupt_controller.h"
+#include "kernel/kernel.h"
+
+namespace shield {
+
+class ShieldController {
+ public:
+  /// Requires a kernel built with shield support (config().shield_support).
+  explicit ShieldController(kernel::Kernel& kernel);
+
+  // ---- typed API -------------------------------------------------------------
+
+  /// Shield `mask` from ordinary processes.
+  void set_process_shield(hw::CpuMask mask);
+  /// Shield `mask` from maskable device interrupts.
+  void set_irq_shield(hw::CpuMask mask);
+  /// Disable the local timer interrupt on `mask`.
+  void set_ltmr_shield(hw::CpuMask mask);
+  /// Convenience: apply the same mask to all three shields.
+  void shield_all(hw::CpuMask mask);
+  /// Drop all shielding.
+  void unshield_all();
+
+  [[nodiscard]] hw::CpuMask process_shield() const { return procs_; }
+  [[nodiscard]] hw::CpuMask irq_shield() const { return irqs_; }
+  [[nodiscard]] hw::CpuMask ltmr_shield() const { return ltmr_; }
+
+  /// True if `cpu` is shielded from processes, IRQs and the local timer.
+  [[nodiscard]] bool fully_shielded(hw::CpuId cpu) const;
+
+  // ---- helpers for the canonical setup ---------------------------------------
+
+  /// The standard recipe from §6: pin `task` and `irq` to `cpu`, then fully
+  /// shield that CPU.
+  void dedicate_cpu(hw::CpuId cpu, kernel::Task& task, hw::Irq irq);
+
+ private:
+  void apply_irq_shield();
+  void apply_ltmr_shield();
+  void register_proc_files();
+
+  kernel::Kernel& kernel_;
+  hw::CpuMask procs_;
+  hw::CpuMask irqs_;
+  hw::CpuMask ltmr_;
+  /// What each IRQ line's affinity would be with no shield (the "user"
+  /// affinity, so the shield algebra composes with smp_affinity writes).
+  std::array<hw::CpuMask, hw::kMaxIrq> irq_user_affinity_{};
+};
+
+}  // namespace shield

@@ -1,0 +1,40 @@
+// The §3 shield semantics as pure mask algebra.
+//
+// "In general, the CPUs that are shielded are removed from the CPU affinity
+//  of a process or interrupt. The only processes or interrupts that are
+//  allowed to execute on a shielded CPU are [those] that would otherwise be
+//  precluded from running unless they are allowed to run on a shielded CPU.
+//  In other words, to run on a shielded CPU, a process must set its CPU
+//  affinity such that it contains only shielded CPUs."
+//
+// These functions are the single source of truth for that rule; the kernel
+// applies them to processes and the shield controller applies them to
+// interrupt lines.
+#pragma once
+
+#include "hw/cpu_mask.h"
+
+namespace shield {
+
+/// Effective affinity of a process (or IRQ) with requested mask `requested`
+/// under shield mask `shielded`. Precondition: `requested` is non-empty.
+/// Result is always non-empty:
+///  * requested ⊆ shielded  → requested (explicitly opted onto the shield)
+///  * otherwise             → requested minus shielded CPUs; if that would
+///    be empty the whole requested mask is kept (cannot strand the task,
+///    matching Linux's refusal to leave an empty affinity)
+[[nodiscard]] constexpr hw::CpuMask effective_affinity(hw::CpuMask requested,
+                                                       hw::CpuMask shielded) {
+  if (requested.subset_of(shielded)) return requested;
+  const hw::CpuMask reduced = requested & ~shielded;
+  return reduced.empty() ? requested : reduced;
+}
+
+/// True if the mask opts entirely onto shielded CPUs (the §3 condition for
+/// being allowed to run there).
+[[nodiscard]] constexpr bool opted_onto_shield(hw::CpuMask requested,
+                                               hw::CpuMask shielded) {
+  return !shielded.empty() && requested.subset_of(shielded);
+}
+
+}  // namespace shield

@@ -1,0 +1,40 @@
+// Umbrella header: the whole public API of the shieldsim library.
+//
+//   #include "shieldsim.h"
+//
+// pulls in the platform assembly, kernel, shield controller, workloads, RT
+// measurement apps, and metrics. Individual headers remain includable for
+// finer-grained dependencies.
+#pragma once
+
+#include "config/kernel_config.h"
+#include "config/machine_config.h"
+#include "config/platform.h"
+#include "hw/cpu_mask.h"
+#include "hw/topology.h"
+#include "kernel/kernel.h"
+#include "kernel/stats_report.h"
+#include "kernel/syscalls.h"
+#include "metrics/histogram.h"
+#include "metrics/report.h"
+#include "metrics/summary.h"
+#include "rt/determinism_test.h"
+#include "rt/rcim_test.h"
+#include "rt/cyclictest.h"
+#include "rt/realfeel_test.h"
+#include "shield/shield_controller.h"
+#include "shield/shield_policy.h"
+#include "sim/engine.h"
+#include "workload/crashme.h"
+#include "workload/disk_noise.h"
+#include "workload/fifos_mmap.h"
+#include "workload/fs_stress.h"
+#include "workload/hackbench.h"
+#include "workload/legacy_ioctl.h"
+#include "workload/nfs_compile.h"
+#include "workload/p3_fpu.h"
+#include "workload/scp_copy.h"
+#include "workload/stress_kernel.h"
+#include "workload/ttcp.h"
+#include "workload/workload.h"
+#include "workload/x11perf.h"

@@ -1,0 +1,31 @@
+// Contract checking for the simulator.
+//
+// Models are full of invariants ("a CPU never runs two tasks", "a lock is
+// released by its holder"). Violations are programming errors, not runtime
+// conditions, so they abort with a message rather than throw.
+#pragma once
+
+#include <string_view>
+
+namespace sim {
+
+[[noreturn]] void assertion_failure(std::string_view expr, std::string_view file,
+                                    int line, std::string_view msg);
+
+}  // namespace sim
+
+#define SIM_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::sim::assertion_failure(#expr, __FILE__, __LINE__, "");        \
+    }                                                                 \
+  } while (false)
+
+#define SIM_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::sim::assertion_failure(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                 \
+  } while (false)
+
+#define SIM_UNREACHABLE(msg) ::sim::assertion_failure("unreachable", __FILE__, __LINE__, (msg))

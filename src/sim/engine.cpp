@@ -1,0 +1,40 @@
+#include "sim/engine.h"
+
+#include "sim/assert.h"
+
+namespace sim {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+EventId Engine::schedule_at(Time at, EventQueue::Callback cb) {
+  SIM_ASSERT_MSG(at >= now_, "scheduling into the past");
+  return queue_.schedule_at(at, std::move(cb));
+}
+
+void Engine::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [at, cb] = queue_.pop();
+    SIM_ASSERT(at >= now_);
+    now_ = at;
+    ++events_executed_;
+    cb();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [at, cb] = queue_.pop();
+  SIM_ASSERT(at >= now_);
+  now_ = at;
+  ++events_executed_;
+  cb();
+  return true;
+}
+
+void Engine::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace sim

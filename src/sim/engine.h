@@ -1,0 +1,69 @@
+// The simulation engine: clock + calendar + run loop.
+//
+// Everything in the model — hardware, kernel, workloads — schedules
+// callbacks here. Time only advances between events; callbacks observe a
+// frozen `now()`.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace sim {
+
+class Engine {
+ public:
+  explicit Engine(std::uint64_t seed = 1);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulation time. Frozen during a callback.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` ns from now.
+  EventId schedule(Duration delay, EventQueue::Callback cb) {
+    return queue_.schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` at an absolute time (must not be in the past).
+  EventId schedule_at(Time at, EventQueue::Callback cb);
+
+  /// Cancel a pending event; no-op if it already fired or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run events until the calendar is empty or `deadline` is reached.
+  /// Events stamped exactly at `deadline` do fire; `now()` ends at
+  /// min(deadline, last event time... see implementation) — after return,
+  /// now() == deadline if the calendar outlived it.
+  void run_until(Time deadline);
+
+  /// Run a single event. Returns false if the calendar is empty.
+  bool step();
+
+  /// Run until the calendar is empty. Only sensible for models that quiesce.
+  void run_to_completion();
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Root RNG; model components should call `rng().split()` once at
+  /// construction to obtain an independent stream.
+  Rng& rng() { return rng_; }
+
+  /// Event trace for debugging and test assertions.
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+ private:
+  Time now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  Trace trace_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,45 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace sim {
+
+EventId EventQueue::schedule_at(Time at, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end());
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return pending_.erase(id.seq) > 0;
+}
+
+void EventQueue::drop_dead_prefix() {
+  while (!heap_.empty() && !pending_.contains(heap_.front().seq)) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::next_time() {
+  SIM_ASSERT_MSG(!empty(), "next_time() on empty queue");
+  drop_dead_prefix();
+  return heap_.front().at;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  SIM_ASSERT_MSG(!empty(), "pop() on empty queue");
+  drop_dead_prefix();
+  std::pop_heap(heap_.begin(), heap_.end());
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.seq);
+  return {e.at, std::move(e.cb)};
+}
+
+}  // namespace sim

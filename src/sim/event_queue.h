@@ -1,0 +1,79 @@
+// The discrete-event calendar.
+//
+// A binary min-heap keyed by (time, sequence). The sequence number makes
+// ordering of same-timestamp events deterministic (FIFO in scheduling
+// order), which keeps whole experiments bit-reproducible.
+//
+// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+// on pop. The simulator cancels frequently (every preemption cancels a
+// segment-completion event), so membership is tracked in a hash set rather
+// than by rebuilding the heap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sim {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+struct EventId {
+  std::uint64_t seq = 0;  ///< 0 means "no event".
+
+  [[nodiscard]] bool valid() const { return seq != 0; }
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// Priority queue of timed callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+
+  /// Schedule `cb` at absolute time `at`. Events at equal times fire in
+  /// insertion order.
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Remove a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+
+  /// Number of live (non-cancelled, non-fired) events.
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Timestamp of the next live event. Requires !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Pop and return the next live event. Requires !empty().
+  std::pair<Time, Callback> pop();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+
+    // std::push_heap builds a max-heap; invert the comparison for min-heap.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Remove cancelled entries sitting at the top of the heap.
+  void drop_dead_prefix();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace sim

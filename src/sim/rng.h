@@ -1,0 +1,67 @@
+// Deterministic random number generation for the simulator.
+//
+// Every experiment is seeded so results are bit-reproducible across runs,
+// which the test suite relies on. xoshiro256++ is used instead of
+// std::mt19937 because its state is small, splitting is cheap (each model
+// component gets an independent stream), and the output is identical across
+// standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/assert.h"
+#include "sim/time.h"
+
+namespace sim {
+
+/// xoshiro256++ generator with SplitMix64 seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derive an independent child stream; used to give each device/workload
+  /// its own RNG so adding one model component never perturbs another.
+  [[nodiscard]] Rng split();
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform duration in [lo, hi] inclusive.
+  Duration uniform_duration(Duration lo, Duration hi) { return uniform(lo, hi); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Exponential distribution with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Exponentially distributed duration with the given mean.
+  Duration exponential_duration(Duration mean);
+
+  /// Normal distribution (Box-Muller; consumes two uniforms per pair).
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(log_mean, log_sigma)). Parameters are of the
+  /// underlying normal.
+  double lognormal(double log_mean, double log_sigma);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha — models the heavy tail of
+  /// kernel critical-section hold times.
+  double bounded_pareto(double lo, double hi, double alpha);
+
+  /// Bounded-Pareto duration.
+  Duration bounded_pareto_duration(Duration lo, Duration hi, double alpha);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sim

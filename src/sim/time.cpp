@@ -1,0 +1,21 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace sim {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(d));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_millis(d));
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_micros(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace sim

@@ -1,0 +1,47 @@
+// Simulated time: 64-bit nanoseconds since simulation start.
+//
+// All latency results in this project are exact differences of event
+// timestamps, so the representation must be integral — no floating-point
+// clock drift, no wall-clock nondeterminism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sim {
+
+/// Absolute simulation time in nanoseconds.
+using Time = std::uint64_t;
+/// A span of simulation time in nanoseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// User-defined literals so model parameters read like the paper's text:
+/// `2_ms`, `565_us`, `10_ms`.
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return v; }
+constexpr Duration operator""_us(unsigned long long v) { return v * kMicrosecond; }
+constexpr Duration operator""_ms(unsigned long long v) { return v * kMillisecond; }
+constexpr Duration operator""_s(unsigned long long v) { return v * kSecond; }
+}  // namespace literals
+
+/// Convert a duration to seconds as a double (for reporting only).
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e9; }
+/// Convert a duration to milliseconds as a double (for reporting only).
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e6; }
+/// Convert a duration to microseconds as a double (for reporting only).
+constexpr double to_micros(Duration d) { return static_cast<double>(d) / 1e3; }
+
+/// Round a double number of seconds to the nearest representable Duration.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9 + 0.5);
+}
+
+/// Human-readable rendering, e.g. "1.150 s", "565 us", "27 ns".
+std::string format_duration(Duration d);
+
+}  // namespace sim

@@ -1,0 +1,65 @@
+// Lightweight event trace.
+//
+// A bounded ring of (time, category, message) records. Tests assert on it;
+// debugging dumps it. Tracing is off by default so the hot path costs one
+// branch.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace sim {
+
+enum class TraceCategory : std::uint8_t {
+  kSched,     ///< context switches, wakeups, migrations
+  kIrq,       ///< hardirq entry/exit, IPIs
+  kSoftirq,   ///< bottom-half execution
+  kLock,      ///< spinlock contention
+  kSyscall,   ///< syscall entry/exit
+  kShield,    ///< shield mask changes
+  kDevice,    ///< device activity
+  kWorkload,  ///< workload generator activity
+};
+
+const char* to_string(TraceCategory c);
+
+struct TraceRecord {
+  Time at;
+  TraceCategory category;
+  int cpu;  ///< -1 when not CPU-specific
+  std::string message;
+};
+
+class Trace {
+ public:
+  /// Enable recording, keeping at most `capacity` most-recent records.
+  void enable(std::size_t capacity = 65536);
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(Time at, TraceCategory category, int cpu, std::string message);
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const { return records_; }
+
+  /// All records of one category, for test assertions.
+  [[nodiscard]] std::vector<TraceRecord> by_category(TraceCategory c) const;
+
+  /// Number of records of one category.
+  [[nodiscard]] std::size_t count(TraceCategory c) const;
+
+  void clear() { records_.clear(); }
+
+  /// Render the trace as text (one line per record).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::deque<TraceRecord> records_;
+};
+
+}  // namespace sim

@@ -1,0 +1,27 @@
+// stress-kernel CRASHME: "generates buffers of random data, then jumps to
+// that data and tries to execute it" — a continuous storm of faults,
+// exceptions and signal deliveries through the mm layer.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class Crashme final : public Workload {
+ public:
+  struct Params {
+    sim::Duration buffer_gen_min = 500 * sim::kMicrosecond;
+    sim::Duration buffer_gen_max = 4 * sim::kMillisecond;
+    int faults_per_buffer = 6;
+  };
+
+  Crashme() : Crashme(Params{}) {}
+  explicit Crashme(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "crashme"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,35 @@
+// The §5.1 disk load ("disknoise"): a shell script that recursively
+// concatenates files —
+//
+//   while true; do for f in 0..9; do cat * > $f; done; ...; rm *; done
+//
+// i.e. a continuous stream of reads and ever-growing buffered writes with
+// periodic unlink bursts. Kernel-visible effects: fs syscalls holding
+// fs/dcache locks, disk requests, block-softirq completions.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class DiskNoise final : public Workload {
+ public:
+  struct Params {
+    sim::Duration cat_body_typical = 150 * sim::kMicrosecond;
+    std::uint32_t io_bytes_min = 4'096;
+    std::uint32_t io_bytes_max = 262'144;
+    int cats_per_cycle = 10;       ///< the for-loop width in the script
+    int cycles_before_rm = 3;      ///< `cnt -ge 3` in the script
+    sim::Duration think = 200 * sim::kMicrosecond;  ///< shell overhead
+  };
+
+  DiskNoise() : DiskNoise(Params{}) {}
+  explicit DiskNoise(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "disknoise"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

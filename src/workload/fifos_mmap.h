@@ -1,0 +1,27 @@
+// stress-kernel FIFOS_MMAP: alternates between pushing data through a FIFO
+// between two processes and operating on an mmap'd file — pipe-lock and
+// mm-lock pressure with constant wakeups.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class FifosMmap final : public Workload {
+ public:
+  struct Params {
+    sim::Duration copy_work = 80 * sim::kMicrosecond;
+    sim::Duration mmap_body_typical = 200 * sim::kMicrosecond;
+    int pipe_rounds_per_mmap = 16;
+  };
+
+  FifosMmap() : FifosMmap(Params{}) {}
+  explicit FifosMmap(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "fifos-mmap"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,33 @@
+// stress-kernel FS: "performs all sorts of unnatural acts on a set of
+// files, such as creating large files with holes in the middle, then
+// truncating and extending those files."
+//
+// This is the heavy-tail source: large buffered-file operations in 2.4
+// could hold the kernel for tens of milliseconds, and on an unpatched
+// kernel those stretches are completely non-preemptible — the backbone of
+// Fig 5's 92 ms worst case.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class FsStress final : public Workload {
+ public:
+  struct Params {
+    sim::Duration body_typical = 400 * sim::kMicrosecond;
+    std::uint32_t io_bytes_min = 65'536;
+    std::uint32_t io_bytes_max = 1'048'576;
+    int tasks = 2;
+  };
+
+  FsStress() : FsStress(Params{}) {}
+  explicit FsStress(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "fs-stress"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,28 @@
+// hackbench-style scheduler stress: N sender/receiver pairs flooding each
+// other through FIFOs — the classic way to hammer runqueues and wakeup
+// paths. Not one of the paper's loads, but the standard companion stress
+// for scheduling-latency measurements (used by the ablation and cyclictest
+// benches to pressure the schedulers specifically).
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class Hackbench final : public Workload {
+ public:
+  struct Params {
+    int pairs = 8;
+    sim::Duration message_work = 15 * sim::kMicrosecond;
+  };
+
+  Hackbench() : Hackbench(Params{}) {}
+  explicit Hackbench(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "hackbench"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,28 @@
+// Legacy BKL-heavy driver clients.
+//
+// In 2.4, tty, console, and most graphics/char drivers served their ioctls
+// under lock_kernel(). A couple of chatty clients keep the BKL hot — the
+// §6.3 background against which the BKL-free-ioctl flag is evaluated.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class LegacyIoctl final : public Workload {
+ public:
+  struct Params {
+    int clients = 2;
+    sim::Duration think = 150 * sim::kMicrosecond;
+  };
+
+  LegacyIoctl() : LegacyIoctl(Params{}) {}
+  explicit LegacyIoctl(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "legacy-ioctl"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,34 @@
+// stress-kernel NFS-COMPILE: repeated kernel compilation on an NFS file
+// system exported over the loopback device.
+//
+// Two cooperating tasks: the compiler (CPU bursts + file syscalls + NFS
+// RPCs over loopback) and nfsd (serves each RPC with filesystem I/O).
+// Loopback RPCs charge net-rx softirq work on the sender's CPU — network
+// load with no NIC involved, exactly why the paper's Fig 5/6 load stresses
+// latency even "without Ethernet activity".
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class NfsCompile final : public Workload {
+ public:
+  struct Params {
+    sim::Duration compile_burst_min = 10 * sim::kMillisecond;
+    sim::Duration compile_burst_max = 70 * sim::kMillisecond;
+    sim::Duration rpc_proto_work = 120 * sim::kMicrosecond;
+    double rpc_softirq_ns_per_call = 60'000;  ///< loopback net-rx work
+    sim::Duration nfsd_body_typical = 150 * sim::kMicrosecond;
+  };
+
+  NfsCompile() : NfsCompile(Params{}) {}
+  explicit NfsCompile(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "nfs-compile"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,28 @@
+// stress-kernel P3_FPU: floating-point matrix operations — pure user-space
+// compute with heavy memory traffic. Its kernel-visible effect is cache/bus
+// pressure (and HT execution-unit pressure when a sibling runs it).
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class P3Fpu final : public Workload {
+ public:
+  struct Params {
+    sim::Duration burst_min = 8 * sim::kMillisecond;
+    sim::Duration burst_max = 40 * sim::kMillisecond;
+    double memory_intensity = 0.85;
+    int tasks = 1;
+  };
+
+  P3Fpu() : P3Fpu(Params{}) {}
+  explicit P3Fpu(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "p3-fpu"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

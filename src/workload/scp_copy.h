@@ -1,0 +1,36 @@
+// The §5.1 Ethernet load:
+//
+//   while true; do scp bzImage wahoo:/tmp; done
+//
+// run on a *foreign* host — so the local side is an sshd/scp receiver:
+// bursts of NIC rx traffic arrive at link rate, the receiver wakes, spends
+// CPU decrypting, and periodically flushes to disk. Between file copies
+// there is a short ssh-handshake gap.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class ScpCopy final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t file_bytes = 1'100'000;  ///< a compressed kernel boot image
+    std::uint32_t burst_bytes = 32'768;    ///< rx burst per interrupt batch
+    sim::Duration burst_interval = 3 * sim::kMillisecond;  ///< ~10 MB/s
+    sim::Duration handshake_gap = 60 * sim::kMillisecond;
+    /// Decryption CPU per burst (3DES-era ssh on a 1.4 GHz Xeon).
+    sim::Duration decrypt_per_burst = 1500 * sim::kMicrosecond;
+    std::uint32_t flush_every_bursts = 8;  ///< write-back cadence
+  };
+
+  ScpCopy() : ScpCopy(Params{}) {}
+  explicit ScpCopy(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "scp-copy"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,14 @@
+#include "workload/stress_kernel.h"
+
+namespace workload {
+
+void StressKernel::install(config::Platform& platform) {
+  NfsCompile(params_.nfs).install(platform);
+  TtcpLoopback(params_.ttcp).install(platform);
+  FifosMmap(params_.fifos).install(platform);
+  P3Fpu(params_.fpu).install(platform);
+  FsStress(params_.fs).install(platform);
+  Crashme(params_.crashme).install(platform);
+}
+
+}  // namespace workload

@@ -1,0 +1,36 @@
+// The Red Hat stress-kernel suite as configured by Clark Williams' scheduler
+// latency study [5] and reused in the paper's §6: NFS-COMPILE, TTCP,
+// FIFOS_MMAP, P3_FPU, FS, CRASHME — all at once.
+#pragma once
+
+#include "workload/crashme.h"
+#include "workload/fifos_mmap.h"
+#include "workload/fs_stress.h"
+#include "workload/nfs_compile.h"
+#include "workload/p3_fpu.h"
+#include "workload/ttcp.h"
+#include "workload/workload.h"
+
+namespace workload {
+
+class StressKernel final : public Workload {
+ public:
+  struct Params {
+    NfsCompile::Params nfs;
+    TtcpLoopback::Params ttcp;
+    FifosMmap::Params fifos;
+    P3Fpu::Params fpu;
+    FsStress::Params fs;
+    Crashme::Params crashme;
+  };
+
+  StressKernel() : StressKernel(Params{}) {}
+  explicit StressKernel(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "stress-kernel"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,50 @@
+// TTCP — bulk TCP throughput test.
+//
+// Two variants from the paper:
+//  * TtcpLoopback (stress-kernel's TTCP): sender and receiver on the same
+//    machine over the loopback device — pure softirq + socket-lock load.
+//  * TtcpEthernet (§6.3): reads and writes across a real 10BaseT link —
+//    NIC interrupts in both directions.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class TtcpLoopback final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t chunk_bytes = 32'768;
+    sim::Duration proto_work = 120 * sim::kMicrosecond;
+    double rx_softirq_ns_per_byte = 7.0;
+    sim::Duration sender_pause = 2 * sim::kMillisecond;
+  };
+
+  TtcpLoopback() : TtcpLoopback(Params{}) {}
+  explicit TtcpLoopback(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "ttcp-loopback"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+class TtcpEthernet final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t chunk_bytes = 8'192;
+    /// 10BaseT in §6.3: ~1 MB/s each way.
+    sim::Duration send_interval = 8 * sim::kMillisecond;
+    sim::Duration proto_work = 100 * sim::kMicrosecond;
+  };
+
+  TtcpEthernet() : TtcpEthernet(Params{}) {}
+  explicit TtcpEthernet(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "ttcp-ethernet"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

@@ -1,0 +1,24 @@
+#include "workload/workload.h"
+
+namespace workload {
+
+kernel::Task& spawn(kernel::Kernel& k, kernel::Kernel::TaskParams params,
+                    FnBehavior::Fn fn) {
+  return k.create_task(std::move(params),
+                       std::make_unique<FnBehavior>(std::move(fn)));
+}
+
+std::string WorkloadSet::name() const {
+  std::string out;
+  for (const auto& m : members_) {
+    if (!out.empty()) out += "+";
+    out += m->name();
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+void WorkloadSet::install(config::Platform& platform) {
+  for (auto& m : members_) m->install(platform);
+}
+
+}  // namespace workload

@@ -1,0 +1,56 @@
+// Workload framework.
+//
+// A workload installs background tasks (and external traffic sources) on a
+// Platform. Behaviours are written as lambdas over shared per-task state
+// via FnBehavior, which keeps each generator compact and readable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/platform.h"
+#include "kernel/task.h"
+
+namespace workload {
+
+/// Behavior adapter: the next-action function is a lambda.
+class FnBehavior final : public kernel::Behavior {
+ public:
+  using Fn = std::function<kernel::Action(kernel::Kernel&, kernel::Task&)>;
+  explicit FnBehavior(Fn fn) : fn_(std::move(fn)) {}
+  kernel::Action next_action(kernel::Kernel& k, kernel::Task& t) override {
+    return fn_(k, t);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Create a background task driven by `fn`.
+kernel::Task& spawn(kernel::Kernel& k, kernel::Kernel::TaskParams params,
+                    FnBehavior::Fn fn);
+
+/// A named background load that can be installed on a platform.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Create tasks / start traffic. Call before or after boot().
+  virtual void install(config::Platform& platform) = 0;
+};
+
+/// Composite: installs each member in order.
+class WorkloadSet final : public Workload {
+ public:
+  void add(std::unique_ptr<Workload> w) { members_.push_back(std::move(w)); }
+  [[nodiscard]] std::string name() const override;
+  void install(config::Platform& platform) override;
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Workload>> members_;
+};
+
+}  // namespace workload

@@ -1,0 +1,27 @@
+// X11perf on the graphics console (§6.3): an X server submitting command
+// batches to the GPU and an x11perf client pumping requests at it over a
+// Unix socket — graphics interrupts plus IPC churn.
+#pragma once
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class X11Perf final : public Workload {
+ public:
+  struct Params {
+    std::uint32_t commands_per_batch = 400;
+    sim::Duration client_think = 2 * sim::kMillisecond;
+    sim::Duration server_cpu_per_batch = 800 * sim::kMicrosecond;
+  };
+
+  X11Perf() : X11Perf(Params{}) {}
+  explicit X11Perf(Params params) : params_(params) {}
+  [[nodiscard]] std::string name() const override { return "x11perf"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

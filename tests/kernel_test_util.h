@@ -1,0 +1,91 @@
+// Helpers for kernel-level tests: scripted tasks and a platform rig.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "config/platform.h"
+#include "kernel/kernel.h"
+#include "workload/workload.h"
+
+namespace testutil {
+
+using namespace sim::literals;
+
+/// A task that performs a fixed list of actions, then exits. Each action
+/// boundary records the simulation time it was reached.
+class ScriptedBehavior final : public kernel::Behavior {
+ public:
+  explicit ScriptedBehavior(std::vector<kernel::Action> actions,
+                            std::vector<sim::Time>* boundaries = nullptr)
+      : actions_(std::move(actions)), boundaries_(boundaries) {}
+
+  kernel::Action next_action(kernel::Kernel& k, kernel::Task&) override {
+    if (boundaries_ != nullptr) boundaries_->push_back(k.now());
+    if (next_ >= actions_.size()) return kernel::ExitAction{};
+    return std::move(actions_[next_++]);
+  }
+
+ private:
+  std::vector<kernel::Action> actions_;
+  std::vector<sim::Time>* boundaries_;
+  std::size_t next_ = 0;
+};
+
+/// Spawn a task that runs `actions` then exits; boundary timestamps go to
+/// `*boundaries` if given.
+inline kernel::Task& spawn_scripted(kernel::Kernel& k,
+                                    kernel::Kernel::TaskParams params,
+                                    std::vector<kernel::Action> actions,
+                                    std::vector<sim::Time>* boundaries = nullptr) {
+  return k.create_task(std::move(params), std::make_unique<ScriptedBehavior>(
+                                              std::move(actions), boundaries));
+}
+
+/// Spawn an endless CPU hog at the given policy/priority.
+inline kernel::Task& spawn_hog(kernel::Kernel& k, const std::string& name,
+                               hw::CpuMask affinity = {},
+                               kernel::SchedPolicy policy = kernel::SchedPolicy::kOther,
+                               int rt_priority = 0) {
+  kernel::Kernel::TaskParams tp;
+  tp.name = name;
+  tp.policy = policy;
+  tp.rt_priority = rt_priority;
+  tp.affinity = affinity;
+  return workload::spawn(k, std::move(tp),
+                         [](kernel::Kernel&, kernel::Task&) -> kernel::Action {
+                           return kernel::ComputeAction{1_ms, 0.3};
+                         });
+}
+
+/// Spawn a task that repeatedly issues the same syscall program.
+inline kernel::Task& spawn_syscall_loop(
+    kernel::Kernel& k, const std::string& name,
+    std::function<kernel::KernelProgram(kernel::Kernel&)> make_program,
+    hw::CpuMask affinity = {}) {
+  kernel::Kernel::TaskParams tp;
+  tp.name = name;
+  tp.affinity = affinity;
+  return workload::spawn(
+      k, std::move(tp),
+      [make_program](kernel::Kernel& kk, kernel::Task&) -> kernel::Action {
+        return kernel::SyscallAction{"loop", make_program(kk)};
+      });
+}
+
+/// A two-CPU RedHawk platform for shield tests.
+inline std::unique_ptr<config::Platform> redhawk_rig(std::uint64_t seed = 1) {
+  return std::make_unique<config::Platform>(
+      config::MachineConfig::dual_p4_xeon_2000_rcim(),
+      config::KernelConfig::redhawk_1_4(), seed);
+}
+
+/// A two-CPU vanilla platform.
+inline std::unique_ptr<config::Platform> vanilla_rig(std::uint64_t seed = 1) {
+  return std::make_unique<config::Platform>(
+      config::MachineConfig::dual_p3_xeon_933(),
+      config::KernelConfig::vanilla_2_4_20(), seed);
+}
+
+}  // namespace testutil

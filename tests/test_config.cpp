@@ -1,0 +1,111 @@
+// Kernel/machine configuration presets and platform assembly.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+TEST(KernelConfig, VanillaMatchesPaperDescription) {
+  const auto c = config::KernelConfig::vanilla_2_4_20();
+  EXPECT_FALSE(c.preempt_kernel);
+  EXPECT_FALSE(c.low_latency);
+  EXPECT_FALSE(c.shield_support);
+  EXPECT_FALSE(c.rcim_driver);
+  EXPECT_FALSE(c.bkl_ioctl_flag);
+  EXPECT_TRUE(c.default_hyperthreading);  // §5.2
+  EXPECT_EQ(c.scheduler, config::SchedulerKind::kGoodness24);
+  EXPECT_EQ(c.local_timer_period, 10_ms);  // HZ=100
+  // Long critical sections are vanilla's signature.
+  EXPECT_GT(c.section_max, 10_ms);
+}
+
+TEST(KernelConfig, RedHawkMatchesPaperDescription) {
+  const auto c = config::KernelConfig::redhawk_1_4();
+  EXPECT_TRUE(c.preempt_kernel);
+  EXPECT_TRUE(c.low_latency);
+  EXPECT_TRUE(c.shield_support);
+  EXPECT_TRUE(c.rcim_driver);
+  EXPECT_TRUE(c.bkl_ioctl_flag);
+  EXPECT_TRUE(c.posix_timers);
+  EXPECT_FALSE(c.default_hyperthreading);
+  EXPECT_EQ(c.scheduler, config::SchedulerKind::kO1);
+  // Low-latency patched sections stay sub-millisecond.
+  EXPECT_LT(c.section_max, 2_ms);
+}
+
+TEST(KernelConfig, PatchedPreemptLowlat) {
+  const auto c = config::KernelConfig::patched_preempt_lowlat();
+  EXPECT_TRUE(c.preempt_kernel);
+  EXPECT_TRUE(c.low_latency);
+  EXPECT_FALSE(c.shield_support);
+  // The configuration the 1.2 ms worst-case claim [5] was made on.
+  EXPECT_LE(c.section_max, 1200_us);
+}
+
+TEST(MachineConfig, Presets) {
+  const auto m1 = config::MachineConfig::dual_p4_xeon_1400();
+  EXPECT_EQ(m1.physical_cores, 2);
+  EXPECT_TRUE(m1.hyperthreading_capable);
+  EXPECT_FALSE(m1.has_rcim);
+
+  const auto m2 = config::MachineConfig::dual_p3_xeon_933();
+  EXPECT_FALSE(m2.hyperthreading_capable);  // P3 has no HT
+
+  const auto m3 = config::MachineConfig::dual_p4_xeon_2000_rcim();
+  EXPECT_TRUE(m3.has_rcim);
+}
+
+TEST(Platform, HyperthreadingFollowsKernelDefault) {
+  config::Platform vanilla(config::MachineConfig::dual_p4_xeon_1400(),
+                           config::KernelConfig::vanilla_2_4_20(), 1);
+  EXPECT_EQ(vanilla.topology().logical_cpus(), 4);  // HT on by default
+
+  config::Platform redhawk(config::MachineConfig::dual_p4_xeon_1400(),
+                           config::KernelConfig::redhawk_1_4(), 1);
+  EXPECT_EQ(redhawk.topology().logical_cpus(), 2);  // HT off by default
+}
+
+TEST(Platform, HyperthreadingOverride) {
+  // §5.2: vanilla "with hyperthreading disabled via the GRUB prompt".
+  config::Platform p(config::MachineConfig::dual_p4_xeon_1400(),
+                     config::KernelConfig::vanilla_2_4_20(), 1,
+                     /*ht_override=*/false);
+  EXPECT_EQ(p.topology().logical_cpus(), 2);
+}
+
+TEST(Platform, HtIncapableMachineIgnoresKernelDefault) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                     config::KernelConfig::vanilla_2_4_20(), 1);
+  EXPECT_EQ(p.topology().logical_cpus(), 2);
+}
+
+TEST(Platform, RcimNeedsBothCardAndDriver) {
+  config::Platform no_card(config::MachineConfig::dual_p3_xeon_933(),
+                           config::KernelConfig::redhawk_1_4(), 1);
+  EXPECT_FALSE(no_card.has_rcim());
+  config::Platform no_driver(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                             config::KernelConfig::vanilla_2_4_20(), 1);
+  EXPECT_FALSE(no_driver.has_rcim());
+  config::Platform both(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                        config::KernelConfig::redhawk_1_4(), 1);
+  EXPECT_TRUE(both.has_rcim());
+  EXPECT_DEATH(no_card.rcim_device(), "RCIM");
+}
+
+TEST(Platform, ShieldOnlyWithSupport) {
+  auto v = vanilla_rig();
+  EXPECT_FALSE(v->has_shield());
+  EXPECT_DEATH(v->shield(), "shield");
+  auto r = redhawk_rig();
+  EXPECT_TRUE(r->has_shield());
+}
+
+TEST(Platform, RunForAdvancesTime) {
+  auto p = vanilla_rig();
+  p->boot();
+  p->run_for(123_ms);
+  EXPECT_EQ(p->engine().now(), 123_ms);
+  p->run_until(200_ms);
+  EXPECT_EQ(p->engine().now(), 200_ms);
+}

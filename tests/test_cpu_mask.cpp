@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "hw/cpu_mask.h"
+
+using hw::CpuMask;
+
+TEST(CpuMask, EmptyByDefault) {
+  CpuMask m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.count(), 0);
+}
+
+TEST(CpuMask, SingleAndFirstN) {
+  EXPECT_EQ(CpuMask::single(0).bits(), 1u);
+  EXPECT_EQ(CpuMask::single(5).bits(), 32u);
+  EXPECT_EQ(CpuMask::first_n(2).bits(), 3u);
+  EXPECT_EQ(CpuMask::first_n(4).bits(), 15u);
+  EXPECT_EQ(CpuMask::first_n(64).bits(), ~std::uint64_t{0});
+}
+
+TEST(CpuMask, SetClearTest) {
+  CpuMask m;
+  m.set(3);
+  EXPECT_TRUE(m.test(3));
+  EXPECT_FALSE(m.test(2));
+  m.clear(3);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(CpuMask, FirstAndCount) {
+  CpuMask m(0b101000);
+  EXPECT_EQ(m.first(), 3);
+  EXPECT_EQ(m.count(), 2);
+}
+
+TEST(CpuMask, SubsetOf) {
+  EXPECT_TRUE(CpuMask(0b010).subset_of(CpuMask(0b110)));
+  EXPECT_FALSE(CpuMask(0b011).subset_of(CpuMask(0b110)));
+  EXPECT_TRUE(CpuMask().subset_of(CpuMask(0b1)));  // empty ⊆ anything
+  EXPECT_TRUE(CpuMask(0b11).subset_of(CpuMask(0b11)));
+}
+
+TEST(CpuMask, Intersects) {
+  EXPECT_TRUE(CpuMask(0b011).intersects(CpuMask(0b110)));
+  EXPECT_FALSE(CpuMask(0b001).intersects(CpuMask(0b110)));
+}
+
+TEST(CpuMask, Operators) {
+  const CpuMask a(0b1100), b(0b1010);
+  EXPECT_EQ((a & b).bits(), 0b1000u);
+  EXPECT_EQ((a | b).bits(), 0b1110u);
+  EXPECT_EQ((~a & CpuMask::first_n(4)).bits(), 0b0011u);
+  EXPECT_EQ(a, CpuMask(0b1100));
+  EXPECT_NE(a, b);
+}
+
+TEST(CpuMask, ForEachAscending) {
+  CpuMask m(0b100101);
+  std::vector<int> cpus;
+  m.for_each([&](hw::CpuId c) { cpus.push_back(c); });
+  EXPECT_EQ(cpus, (std::vector<int>{0, 2, 5}));
+}
+
+TEST(CpuMask, HexFormat) {
+  EXPECT_EQ(CpuMask(0).to_hex(), "0");
+  EXPECT_EQ(CpuMask(3).to_hex(), "3");
+  EXPECT_EQ(CpuMask(255).to_hex(), "ff");
+}
+
+TEST(CpuMask, ParseHexValid) {
+  CpuMask m;
+  EXPECT_TRUE(CpuMask::parse_hex("2", m));
+  EXPECT_EQ(m.bits(), 2u);
+  EXPECT_TRUE(CpuMask::parse_hex("0xff", m));
+  EXPECT_EQ(m.bits(), 255u);
+  EXPECT_TRUE(CpuMask::parse_hex("  3\n", m));  // procfs-style trailing \n
+  EXPECT_EQ(m.bits(), 3u);
+  EXPECT_TRUE(CpuMask::parse_hex("DEAD", m));
+  EXPECT_EQ(m.bits(), 0xDEADu);
+}
+
+TEST(CpuMask, ParseHexInvalid) {
+  CpuMask m;
+  EXPECT_FALSE(CpuMask::parse_hex("", m));
+  EXPECT_FALSE(CpuMask::parse_hex("xyz", m));
+  EXPECT_FALSE(CpuMask::parse_hex("12345678901234567", m));  // > 16 digits
+  EXPECT_FALSE(CpuMask::parse_hex("1 2", m));
+}
+
+// Round-trip property over a sweep of masks.
+class CpuMaskRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuMaskRoundTrip, HexRoundTrips) {
+  const CpuMask m(GetParam());
+  CpuMask back;
+  ASSERT_TRUE(CpuMask::parse_hex(m.to_hex(), back));
+  EXPECT_EQ(back, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, CpuMaskRoundTrip,
+                         ::testing::Values(0ull, 1ull, 2ull, 3ull, 0xffull,
+                                           0xdeadbeefull, ~0ull));

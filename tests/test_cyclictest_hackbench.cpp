@@ -1,0 +1,88 @@
+// The cyclictest app and the hackbench load.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+#include "rt/cyclictest.h"
+#include "workload/hackbench.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+TEST(CyclicTest, CollectsCycles) {
+  auto p = redhawk_rig(201);
+  rt::CyclicTest::Params cp;
+  cp.period = 1_ms;
+  cp.cycles = 2000;
+  rt::CyclicTest test(p->kernel(), cp);
+  p->boot();
+  test.start();
+  p->run_for(5_s);
+  EXPECT_TRUE(test.done());
+  EXPECT_EQ(test.latencies().count(), 2000u);
+}
+
+TEST(CyclicTest, IdleShieldedLatencyIsWakePathOnly) {
+  auto p = redhawk_rig(202);
+  rt::CyclicTest::Params cp;
+  cp.period = 1_ms;
+  cp.cycles = 3000;
+  cp.affinity = hw::CpuMask::single(1);
+  rt::CyclicTest test(p->kernel(), cp);
+  p->boot();
+  p->shield().shield_all(hw::CpuMask::single(1));
+  test.start();
+  p->run_for(10_s);
+  ASSERT_TRUE(test.done());
+  EXPECT_GT(test.latencies().min(), 1_us);   // pick + switch
+  EXPECT_LT(test.latencies().max(), 40_us);  // nothing else interferes
+}
+
+TEST(CyclicTest, VanillaIsWorseUnderLoad) {
+  const auto max_for = [](const config::KernelConfig& cfg,
+                          std::uint64_t seed) {
+    config::Platform p(config::MachineConfig::dual_p3_xeon_933(), cfg, seed);
+    workload::Hackbench{}.install(p);
+    rt::CyclicTest::Params cp;
+    // Vanilla quantizes the 1 ms period up to 10 ms (HZ=100), so it only
+    // collects ~100 cycles/s; keep the target reachable for both kernels.
+    cp.cycles = 4'000;
+    rt::CyclicTest test(p.kernel(), cp);
+    p.boot();
+    test.start();
+    p.run_for(60_s);
+    EXPECT_TRUE(test.done());
+    return test.latencies().max();
+  };
+  const auto vanilla = max_for(config::KernelConfig::vanilla_2_4_20(), 203);
+  const auto redhawk = max_for(config::KernelConfig::redhawk_1_4(), 203);
+  EXPECT_GT(vanilla, redhawk);
+}
+
+TEST(Hackbench, PairsChatterFuriously) {
+  auto p = vanilla_rig(204);
+  workload::Hackbench{}.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  auto* s0 = p->kernel().find_task("hb-send0");
+  auto* r0 = p->kernel().find_task("hb-recv0");
+  ASSERT_NE(s0, nullptr);
+  ASSERT_NE(r0, nullptr);
+  EXPECT_GT(s0->syscalls, 200u);
+  EXPECT_GT(r0->syscalls, 200u);
+  // Lots of context switching is the point of this load.
+  EXPECT_GT(p->kernel().cpu(0).switches + p->kernel().cpu(1).switches, 1000u);
+}
+
+TEST(Hackbench, ScalesWithPairCount) {
+  auto p = vanilla_rig(205);
+  workload::Hackbench::Params hp;
+  hp.pairs = 3;
+  workload::Hackbench(hp).install(*p);
+  p->boot();
+  p->run_for(500_ms);
+  int hb_tasks = 0;
+  for (const auto& t : p->kernel().tasks()) {
+    if (t->name.starts_with("hb-")) ++hb_tasks;
+  }
+  EXPECT_EQ(hb_tasks, 6);
+}

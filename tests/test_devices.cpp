@@ -1,0 +1,187 @@
+// Device models: RTC, RCIM, NIC, disk, GPU.
+#include <gtest/gtest.h>
+
+#include "hw/disk_device.h"
+#include "hw/gpu_device.h"
+#include "hw/interrupt_controller.h"
+#include "hw/nic_device.h"
+#include "hw/rcim_device.h"
+#include "hw/rtc_device.h"
+#include "sim/engine.h"
+
+using namespace sim::literals;
+
+namespace {
+
+struct Rig {
+  sim::Engine engine{1};
+  hw::Topology topo{2, false};
+  hw::InterruptController ic{engine, topo};
+  int deliveries = 0;
+  hw::Irq last_irq = -1;
+
+  Rig() {
+    ic.set_deliver_fn([this](hw::CpuId, hw::Irq irq) {
+      ++deliveries;
+      last_irq = irq;
+    });
+  }
+};
+
+}  // namespace
+
+TEST(RtcDevice, FiresAtProgrammedRate) {
+  Rig rig;
+  hw::RtcDevice rtc(rig.engine, rig.ic);
+  rtc.set_rate_hz(2048);
+  rtc.start_periodic();
+  rig.engine.run_until(1_s);
+  EXPECT_EQ(rtc.fire_count(), 2048u);
+  EXPECT_EQ(rig.last_irq, hw::kIrqRtc);
+}
+
+TEST(RtcDevice, BresenhamKeepsLongRunAccuracy) {
+  // 2048 Hz has a fractional ns period (488281.25); over 100 s the fire
+  // count must not drift by even one interrupt.
+  Rig rig;
+  hw::RtcDevice rtc(rig.engine, rig.ic);
+  rtc.set_rate_hz(2048);
+  rtc.start_periodic();
+  rig.engine.run_until(100_s);
+  EXPECT_EQ(rtc.fire_count(), 204'800u);
+}
+
+TEST(RtcDevice, StopCeasesInterrupts) {
+  Rig rig;
+  hw::RtcDevice rtc(rig.engine, rig.ic);
+  rtc.set_rate_hz(64);
+  rtc.start_periodic();
+  rig.engine.run_until(500_ms);
+  rtc.stop();
+  const auto fired = rtc.fire_count();
+  rig.engine.run_until(1_s);
+  EXPECT_EQ(rtc.fire_count(), fired);
+}
+
+TEST(RtcDevice, RejectsBadRates) {
+  Rig rig;
+  hw::RtcDevice rtc(rig.engine, rig.ic);
+  EXPECT_DEATH(rtc.set_rate_hz(1000), "power of two");
+  EXPECT_DEATH(rtc.set_rate_hz(1), "power of two");
+  EXPECT_DEATH(rtc.set_rate_hz(16384), "power of two");
+}
+
+TEST(RtcDevice, NominalPeriod) {
+  Rig rig;
+  hw::RtcDevice rtc(rig.engine, rig.ic);
+  rtc.set_rate_hz(2048);
+  EXPECT_EQ(rtc.nominal_period(), 488'281u);
+}
+
+TEST(RcimDevice, PeriodicFiresAndAutoReloads) {
+  Rig rig;
+  hw::RcimDevice rcim(rig.engine, rig.ic, 400);
+  rcim.program_periodic(2500);  // 1 ms
+  rig.engine.run_until(10500_us);
+  EXPECT_EQ(rcim.fire_count(), 10u);
+}
+
+TEST(RcimDevice, CountRegisterDecrements) {
+  Rig rig;
+  hw::RcimDevice rcim(rig.engine, rig.ic, 400);
+  rcim.program_periodic(2500);
+  rig.engine.run_until(400_us);  // 1000 ticks into the cycle
+  EXPECT_EQ(rcim.read_count(), 1500u);
+  EXPECT_EQ(rcim.elapsed_in_cycle(), 400'000u);
+}
+
+TEST(RcimDevice, ElapsedResetsAtFire) {
+  Rig rig;
+  hw::RcimDevice rcim(rig.engine, rig.ic, 400);
+  rcim.program_periodic(2500);
+  rig.engine.run_until(1_ms + 20_us);  // 50 ticks into cycle 2
+  EXPECT_EQ(rcim.elapsed_in_cycle(), 20'000u);
+}
+
+TEST(RcimDevice, StopFreezes) {
+  Rig rig;
+  hw::RcimDevice rcim(rig.engine, rig.ic, 400);
+  rcim.program_periodic(2500);
+  rig.engine.run_until(5500_us);
+  rcim.stop();
+  const auto fired = rcim.fire_count();
+  rig.engine.run_until(20_ms);
+  EXPECT_EQ(rcim.fire_count(), fired);
+  EXPECT_EQ(rcim.read_count(), 0u);
+}
+
+TEST(NicDevice, RxRaisesAfterWireDelay) {
+  Rig rig;
+  hw::NicDevice nic(rig.engine, rig.ic);
+  nic.set_link_mbps(100.0);
+  nic.rx(12'500);  // 1 ms at 100 Mbit
+  rig.engine.run_until(900_us);
+  EXPECT_EQ(rig.deliveries, 0);
+  rig.engine.run_until(2_ms);
+  EXPECT_EQ(rig.deliveries, 1);
+  EXPECT_EQ(nic.drain_rx_bytes(), 12'500u);
+  EXPECT_EQ(nic.drain_rx_bytes(), 0u);  // drained
+}
+
+TEST(NicDevice, TxCompletionsAccumulate) {
+  Rig rig;
+  hw::NicDevice nic(rig.engine, rig.ic);
+  nic.tx(1000);
+  nic.tx(2000);
+  rig.engine.run_until(10_ms);
+  EXPECT_EQ(nic.drain_tx_bytes(), 3000u);
+  EXPECT_EQ(nic.total_tx_bytes(), 3000u);
+}
+
+TEST(DiskDevice, CompletionRaisesIrqWithCookie) {
+  Rig rig;
+  hw::DiskDevice disk(rig.engine, rig.ic);
+  disk.submit(hw::DiskRequest{4096, true, 42});
+  rig.engine.run_until(100_ms);
+  EXPECT_EQ(rig.deliveries, 1);
+  const auto cookies = disk.drain_completions();
+  ASSERT_EQ(cookies.size(), 1u);
+  EXPECT_EQ(cookies[0], 42u);
+}
+
+TEST(DiskDevice, ServesFifo) {
+  Rig rig;
+  hw::DiskDevice disk(rig.engine, rig.ic);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    disk.submit(hw::DiskRequest{4096, false, i});
+  }
+  EXPECT_EQ(disk.queue_depth(), 5u);
+  rig.engine.run_until(1_s);
+  const auto cookies = disk.drain_completions();
+  ASSERT_EQ(cookies.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(cookies[i], i);
+  EXPECT_EQ(disk.completed_requests(), 5u);
+  EXPECT_EQ(disk.queue_depth(), 0u);
+}
+
+TEST(DiskDevice, ServiceTimeIsMilliseconds) {
+  Rig rig;
+  hw::DiskDevice disk(rig.engine, rig.ic);
+  disk.submit(hw::DiskRequest{65'536, true, 1});
+  rig.engine.run_until(50_us);
+  EXPECT_EQ(rig.deliveries, 0);  // no disk completes in 50 us
+  rig.engine.run_until(1_s);
+  EXPECT_EQ(rig.deliveries, 1);
+}
+
+TEST(GpuDevice, BatchCompletionInterrupts) {
+  Rig rig;
+  hw::GpuDevice gpu(rig.engine, rig.ic);
+  gpu.submit_batch(100);
+  gpu.submit_batch(200);
+  rig.engine.run_until(100_ms);
+  EXPECT_EQ(rig.deliveries, 2);
+  EXPECT_EQ(gpu.drain_completions(), 2u);
+  EXPECT_EQ(gpu.drain_completions(), 0u);
+  EXPECT_EQ(gpu.total_batches(), 2u);
+}

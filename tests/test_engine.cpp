@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+using namespace sim::literals;
+using sim::Engine;
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+}
+
+TEST(Engine, ScheduleAdvancesClockToEvent) {
+  Engine e;
+  sim::Time seen = 0;
+  e.schedule(100_ns, [&] { seen = e.now(); });
+  e.run_until(1_us);
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(e.now(), 1000u);  // clock lands on the deadline
+}
+
+TEST(Engine, RunUntilIncludesEventsAtDeadline) {
+  Engine e;
+  bool fired = false;
+  e.schedule(1_us, [&] { fired = true; });
+  e.run_until(1_us);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, EventsBeyondDeadlineDoNotFire) {
+  Engine e;
+  bool fired = false;
+  e.schedule(2_us, [&] { fired = true; });
+  e.run_until(1_us);
+  EXPECT_FALSE(fired);
+  e.run_until(3_us);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, NestedSchedulingWorks) {
+  Engine e;
+  std::vector<sim::Time> times;
+  e.schedule(10_ns, [&] {
+    times.push_back(e.now());
+    e.schedule(10_ns, [&] { times.push_back(e.now()); });
+  });
+  e.run_until(1_us);
+  EXPECT_EQ(times, (std::vector<sim::Time>{10, 20}));
+}
+
+TEST(Engine, CancelPreventsCallback) {
+  Engine e;
+  bool fired = false;
+  const auto id = e.schedule(10_ns, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run_until(1_us);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, StepRunsOneEvent) {
+  Engine e;
+  int count = 0;
+  e.schedule(1_ns, [&] { ++count; });
+  e.schedule(2_ns, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsExecutedCounts) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule(static_cast<sim::Duration>(i + 1), [] {});
+  e.run_to_completion();
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(Engine, ClockFrozenDuringCallback) {
+  Engine e;
+  e.schedule(10_ns, [&] {
+    const sim::Time t0 = e.now();
+    e.schedule(100_ns, [] {});
+    EXPECT_EQ(e.now(), t0);  // scheduling does not advance time
+  });
+  e.run_until(1_us);
+}
+
+TEST(Engine, SeedControlsRng) {
+  Engine a(5), b(5), c(6);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  Engine a2(5);
+  EXPECT_NE(a2.rng().next_u64(), c.rng().next_u64());
+}

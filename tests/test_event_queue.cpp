@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+using sim::EventId;
+using sim::EventQueue;
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, NextTimeReflectsEarliest) {
+  EventQueue q;
+  q.schedule_at(100, [] {});
+  EXPECT_EQ(q.next_time(), 100u);
+  q.schedule_at(50, [] {});
+  EXPECT_EQ(q.next_time(), 50u);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const EventId id = q.schedule_at(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule_at(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, InvalidIdCancelIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, CancelledEventsSkippedOnPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(1, [&] { order.push_back(1); });
+  const EventId mid = q.schedule_at(2, [&] { order.push_back(2); });
+  q.schedule_at(3, [&] { order.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledPrefix) {
+  EventQueue q;
+  const EventId early = q.schedule_at(1, [] {});
+  q.schedule_at(10, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 10u);
+}
+
+TEST(EventQueue, ManyInterleavedOpsStayConsistent) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      ids.push_back(
+          q.schedule_at(static_cast<sim::Time>(round * 10 + i), [] {}));
+    }
+    // Cancel every other one from this round.
+    for (std::size_t i = ids.size() - 10; i < ids.size(); i += 2) {
+      q.cancel(ids[i]);
+    }
+  }
+  EXPECT_EQ(q.size(), 500u);
+  sim::Time prev = 0;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, prev);
+    prev = t;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 500u);
+}

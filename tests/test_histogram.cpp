@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "metrics/histogram.h"
+#include "sim/rng.h"
+
+using metrics::LatencyHistogram;
+using namespace sim::literals;
+
+TEST(Histogram, EmptyState) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.count_below(1_ms), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction_below(1_ms), 0.0);
+}
+
+TEST(Histogram, MinMaxMeanExact) {
+  LatencyHistogram h;
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_EQ(h.mean(), 20u);
+}
+
+TEST(Histogram, BucketIndexMonotonic) {
+  int prev = -1;
+  for (sim::Duration v = 0; v < 1'000'000; v = v < 64 ? v + 1 : v + v / 7) {
+    const int idx = LatencyHistogram::bucket_index(v);
+    ASSERT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+TEST(Histogram, BucketLowerBoundInverts) {
+  // lower_bound(bucket_index(v)) <= v for all v; and v falls below the next
+  // bucket's lower bound.
+  for (sim::Duration v : {0ull, 1ull, 31ull, 32ull, 33ull, 63ull, 64ull,
+                          1000ull, 488'281ull, 92'300'000ull, 1'150'000'000ull}) {
+    const int idx = LatencyHistogram::bucket_index(v);
+    EXPECT_LE(LatencyHistogram::bucket_lower_bound(idx), v) << v;
+    if (idx + 1 < LatencyHistogram::kBucketCount) {
+      EXPECT_GT(LatencyHistogram::bucket_lower_bound(idx + 1), v) << v;
+    }
+  }
+}
+
+TEST(Histogram, RelativeResolutionWithin4Percent) {
+  // HDR property: bucket width / lower bound <= 1/32 + epsilon.
+  for (int idx = 64; idx < LatencyHistogram::kBucketCount - 1; idx += 17) {
+    const auto lo = LatencyHistogram::bucket_lower_bound(idx);
+    const auto hi = LatencyHistogram::bucket_lower_bound(idx + 1);
+    EXPECT_LE(static_cast<double>(hi - lo) / static_cast<double>(lo), 0.04);
+  }
+}
+
+TEST(Histogram, CountBelowExactOnBucketEdges) {
+  LatencyHistogram h;
+  h.add(10_us);
+  h.add(200_us);
+  h.add(3_ms);
+  EXPECT_EQ(h.count_below(100_us), 1u);
+  EXPECT_EQ(h.count_below(1_ms), 2u);
+  EXPECT_EQ(h.count_below(100_ms), 3u);
+}
+
+TEST(Histogram, FractionBelow) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.add(10_us);
+  h.add(10_ms);
+  EXPECT_NEAR(h.fraction_below(1_ms), 0.99, 1e-9);
+}
+
+TEST(Histogram, PercentileOrdering) {
+  LatencyHistogram h;
+  for (sim::Duration v = 1; v <= 1000; ++v) h.add(v * 1_us);
+  const auto p50 = h.percentile(0.50);
+  const auto p90 = h.percentile(0.90);
+  const auto p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_NEAR(static_cast<double>(p50), 500e3, 25e3);
+  EXPECT_NEAR(static_cast<double>(p99), 990e3, 50e3);
+}
+
+TEST(Histogram, PercentileExtremes) {
+  LatencyHistogram h;
+  h.add(5);
+  h.add(500);
+  EXPECT_EQ(h.percentile(0.0), 5u);
+  EXPECT_EQ(h.percentile(1.0), 500u);
+}
+
+TEST(Histogram, MergeCombines) {
+  LatencyHistogram a, b;
+  a.add(10);
+  a.add(100);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, ClearResets) {
+  LatencyHistogram h;
+  h.add(10);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, NonzeroBucketsCoverAllSamples) {
+  LatencyHistogram h;
+  for (sim::Duration v = 1; v < 100'000; v += 37) h.add(v);
+  std::uint64_t total = 0;
+  for (const auto& b : h.nonzero_buckets()) {
+    EXPECT_GT(b.hi, b.lo);
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+// Property sweep: count_below is monotone and hits exact totals.
+class HistogramThresholdSweep : public ::testing::TestWithParam<sim::Duration> {};
+
+TEST_P(HistogramThresholdSweep, CountBelowMonotone) {
+  LatencyHistogram h;
+  sim::Rng rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    h.add(rng.uniform_duration(0, 10_ms));
+  }
+  const sim::Duration t = GetParam();
+  EXPECT_LE(h.count_below(t), h.count_below(t * 2));
+  EXPECT_LE(h.count_below(t), h.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, HistogramThresholdSweep,
+                         ::testing::Values(1_us, 10_us, 100_us, 500_us, 1_ms,
+                                           5_ms, 20_ms));

@@ -1,0 +1,227 @@
+// Hardware layer: topology, memory system, interrupt controller, timer.
+#include <gtest/gtest.h>
+
+#include "hw/interrupt_controller.h"
+#include "hw/local_timer.h"
+#include "hw/memory_system.h"
+#include "hw/topology.h"
+#include "sim/engine.h"
+
+using namespace sim::literals;
+
+TEST(Topology, NoHyperthreading) {
+  hw::Topology t(2, false);
+  EXPECT_EQ(t.logical_cpus(), 2);
+  EXPECT_EQ(t.core_of(0), 0);
+  EXPECT_EQ(t.core_of(1), 1);
+  EXPECT_EQ(t.sibling_of(0), -1);
+  EXPECT_EQ(t.all_cpus().bits(), 0b11u);
+}
+
+TEST(Topology, Hyperthreading) {
+  hw::Topology t(2, true);
+  EXPECT_EQ(t.logical_cpus(), 4);
+  EXPECT_EQ(t.core_of(0), 0);
+  EXPECT_EQ(t.core_of(1), 0);
+  EXPECT_EQ(t.core_of(2), 1);
+  EXPECT_EQ(t.sibling_of(0), 1);
+  EXPECT_EQ(t.sibling_of(1), 0);
+  EXPECT_EQ(t.sibling_of(3), 2);
+}
+
+TEST(Topology, ValidCpu) {
+  hw::Topology t(2, false);
+  EXPECT_TRUE(t.valid_cpu(0));
+  EXPECT_TRUE(t.valid_cpu(1));
+  EXPECT_FALSE(t.valid_cpu(2));
+  EXPECT_FALSE(t.valid_cpu(-1));
+}
+
+TEST(MemorySystem, DilationAtLeastOne) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::MemorySystem m(e, t);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.sample_dilation(0, false, 0.5), 1.0);
+  }
+}
+
+TEST(MemorySystem, ForeignTrafficExcludesOwnCore) {
+  sim::Engine e(1);
+  hw::Topology t(2, true);  // cpus 0,1 on core 0; 2,3 on core 1
+  hw::MemorySystem m(e, t);
+  m.set_traffic(1, 0.8);  // own sibling: shares the core, not "foreign"
+  m.set_traffic(2, 0.5);
+  EXPECT_DOUBLE_EQ(m.foreign_traffic(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.foreign_traffic(2), 0.8);
+}
+
+TEST(MemorySystem, SiblingBusyRaisesDilation) {
+  sim::Engine e(1);
+  hw::Topology t(1, true);
+  hw::MemorySystem m(e, t);
+  double with = 0, without = 0;
+  for (int i = 0; i < 5000; ++i) {
+    with += m.sample_dilation(0, true, 0.3);
+    without += m.sample_dilation(0, false, 0.3);
+  }
+  EXPECT_GT(with / 5000, without / 5000 * 1.2);
+}
+
+TEST(MemorySystem, ForeignTrafficRaisesDilation) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::MemorySystem m(e, t);
+  double quiet = 0;
+  for (int i = 0; i < 5000; ++i) quiet += m.sample_dilation(0, false, 0.8);
+  m.set_traffic(1, 1.0);
+  double loud = 0;
+  for (int i = 0; i < 5000; ++i) loud += m.sample_dilation(0, false, 0.8);
+  EXPECT_GT(loud, quiet * 1.02);
+}
+
+TEST(MemorySystem, TrafficClamped) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::MemorySystem m(e, t);
+  m.set_traffic(0, 5.0);
+  EXPECT_DOUBLE_EQ(m.traffic(0), 1.0);
+  m.set_traffic(0, -1.0);
+  EXPECT_DOUBLE_EQ(m.traffic(0), 0.0);
+}
+
+TEST(InterruptController, DeliversToAffinityCpu) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::InterruptController ic(e, t);
+  int delivered_cpu = -1;
+  ic.set_deliver_fn([&](hw::CpuId c, hw::Irq) { delivered_cpu = c; });
+  ic.set_affinity(5, hw::CpuMask::single(1));
+  ic.raise(5);
+  e.run_until(1_ms);
+  EXPECT_EQ(delivered_cpu, 1);
+}
+
+TEST(InterruptController, RotatesWithinMask) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::InterruptController ic(e, t);
+  std::vector<int> cpus;
+  ic.set_deliver_fn([&](hw::CpuId c, hw::Irq) { cpus.push_back(c); });
+  for (int i = 0; i < 10; ++i) ic.raise(3);
+  e.run_until(1_ms);
+  int on0 = 0, on1 = 0;
+  for (int c : cpus) (c == 0 ? on0 : on1)++;
+  EXPECT_EQ(on0, 5);
+  EXPECT_EQ(on1, 5);
+}
+
+TEST(InterruptController, EmptyAffinityClampsToAll) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::InterruptController ic(e, t);
+  ic.set_affinity(4, hw::CpuMask::none());
+  EXPECT_EQ(ic.affinity(4), t.all_cpus());
+  // Masks outside the machine are clipped.
+  ic.set_affinity(4, hw::CpuMask(0b100));  // CPU 2 does not exist
+  EXPECT_EQ(ic.affinity(4), t.all_cpus());
+}
+
+TEST(InterruptController, CountsRaisesAndDeliveries) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::InterruptController ic(e, t);
+  ic.set_deliver_fn([](hw::CpuId, hw::Irq) {});
+  ic.set_affinity(8, hw::CpuMask::single(0));
+  ic.raise(8);
+  ic.raise(8);
+  e.run_until(1_ms);
+  EXPECT_EQ(ic.raise_count(8), 2u);
+  EXPECT_EQ(ic.delivery_count(8, 0), 2u);
+  EXPECT_EQ(ic.delivery_count(8, 1), 0u);
+}
+
+TEST(InterruptController, PreferIdleWhenEnabled) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::InterruptController ic(e, t);
+  std::vector<int> cpus;
+  ic.set_deliver_fn([&](hw::CpuId c, hw::Irq) { cpus.push_back(c); });
+  ic.set_idle_query([](hw::CpuId c) { return c == 1; });
+  ic.set_prefer_idle(true);
+  for (int i = 0; i < 5; ++i) ic.raise(3);
+  e.run_until(1_ms);
+  for (int c : cpus) EXPECT_EQ(c, 1);
+}
+
+TEST(LocalTimer, TicksAtConfiguredPeriod) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::LocalTimer lt(e, t, 10_ms);
+  int ticks[2] = {0, 0};
+  lt.set_tick_fn([&](hw::CpuId c) { ticks[c]++; });
+  lt.start();
+  e.run_until(1_s);
+  EXPECT_EQ(ticks[0], 100);
+  EXPECT_EQ(ticks[1], 100);
+  EXPECT_EQ(lt.tick_count(0), 100u);
+}
+
+TEST(LocalTimer, PhasesAreStaggered) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::LocalTimer lt(e, t, 10_ms);
+  std::vector<sim::Time> first_tick(2, 0);
+  lt.set_tick_fn([&](hw::CpuId c) {
+    if (first_tick[static_cast<std::size_t>(c)] == 0) {
+      first_tick[static_cast<std::size_t>(c)] = e.now();
+    }
+  });
+  lt.start();
+  e.run_until(100_ms);
+  EXPECT_NE(first_tick[0], first_tick[1]);
+}
+
+TEST(LocalTimer, DisableStopsTicks) {
+  sim::Engine e(1);
+  hw::Topology t(2, false);
+  hw::LocalTimer lt(e, t, 10_ms);
+  int ticks[2] = {0, 0};
+  lt.set_tick_fn([&](hw::CpuId c) { ticks[c]++; });
+  lt.start();
+  e.run_until(500_ms);
+  lt.set_enabled(1, false);
+  EXPECT_FALSE(lt.enabled(1));
+  const int at_disable = ticks[1];
+  e.run_until(1_s);
+  EXPECT_EQ(ticks[1], at_disable);   // CPU 1 frozen
+  EXPECT_EQ(ticks[0], 100);          // CPU 0 unaffected
+}
+
+TEST(LocalTimer, ReenableResumesTicks) {
+  sim::Engine e(1);
+  hw::Topology t(1, false);
+  hw::LocalTimer lt(e, t, 10_ms);
+  int ticks = 0;
+  lt.set_tick_fn([&](hw::CpuId) { ticks++; });
+  lt.start();
+  e.run_until(100_ms);
+  lt.set_enabled(0, false);
+  e.run_until(200_ms);
+  const int frozen = ticks;
+  lt.set_enabled(0, true);
+  e.run_until(300_ms);
+  EXPECT_GT(ticks, frozen);
+}
+
+TEST(LocalTimer, DoubleDisableIsIdempotent) {
+  sim::Engine e(1);
+  hw::Topology t(1, false);
+  hw::LocalTimer lt(e, t, 10_ms);
+  lt.set_tick_fn([](hw::CpuId) {});
+  lt.start();
+  lt.set_enabled(0, false);
+  lt.set_enabled(0, false);
+  e.run_until(100_ms);
+  EXPECT_EQ(lt.tick_count(0), 0u);
+}

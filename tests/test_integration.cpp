@@ -1,0 +1,169 @@
+// Cross-module integration: the paper's qualitative claims must hold as
+// statistical statements inside the model.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+#include "rt/determinism_test.h"
+#include "rt/rcim_test.h"
+#include "rt/realfeel_test.h"
+#include "workload/disk_noise.h"
+#include "workload/scp_copy.h"
+#include "workload/stress_kernel.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+namespace {
+
+/// Realfeel max latency on a given kernel, optionally shielded.
+sim::Duration realfeel_max(const config::KernelConfig& kcfg, bool shielded,
+                           std::uint64_t samples, std::uint64_t seed) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
+  workload::StressKernel{}.install(p);
+  rt::RealfeelTest::Params rp;
+  rp.samples = samples;
+  if (shielded) rp.affinity = hw::CpuMask::single(1);
+  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+  p.boot();
+  if (shielded) p.shield().dedicate_cpu(1, test.task(), p.rtc_device().irq());
+  test.start();
+  p.run_for(sim::from_seconds(static_cast<double>(samples) / 2048.0 * 2) + 5_s);
+  EXPECT_TRUE(test.done());
+  return test.latencies().max();
+}
+
+}  // namespace
+
+TEST(Integration, ShieldingBeatsVanillaByOrdersOfMagnitude) {
+  const auto vanilla =
+      realfeel_max(config::KernelConfig::vanilla_2_4_20(), false, 60'000, 1);
+  const auto shielded =
+      realfeel_max(config::KernelConfig::redhawk_1_4(), true, 60'000, 1);
+  // Fig 5 vs Fig 6: tens of ms vs sub-ms.
+  EXPECT_GT(vanilla, 2_ms);
+  EXPECT_LT(shielded, 1_ms);
+  EXPECT_GT(vanilla / std::max<sim::Duration>(shielded, 1), 10u);
+}
+
+TEST(Integration, PreemptLowlatSitsBetween) {
+  // The [5] configuration: ~1.2 ms worst case — far better than vanilla,
+  // worse than a shielded CPU.
+  const auto patched = realfeel_max(
+      config::KernelConfig::patched_preempt_lowlat(), false, 120'000, 2);
+  EXPECT_LT(patched, 3_ms);
+  EXPECT_GT(patched, 30_us);
+}
+
+TEST(Integration, DeterminismShieldedVsUnshielded) {
+  const auto run = [](bool shielded, std::uint64_t seed) {
+    config::Platform p(config::MachineConfig::dual_p4_xeon_1400(),
+                       config::KernelConfig::redhawk_1_4(), seed);
+    workload::ScpCopy{}.install(p);
+    workload::DiskNoise{}.install(p);
+    rt::DeterminismTest::Params dp;
+    dp.loop_work = 200_ms;
+    dp.iterations = 20;
+    if (shielded) dp.affinity = hw::CpuMask::single(1);
+    rt::DeterminismTest test(p.kernel(), dp);
+    p.boot();
+    if (shielded) p.shield().shield_all(hw::CpuMask::single(1));
+    p.run_for(60_s);
+    EXPECT_TRUE(test.done());
+    return test.max_observed() - test.ideal();
+  };
+  const auto shielded_jitter = run(true, 7);
+  const auto unshielded_jitter = run(false, 7);
+  EXPECT_LT(shielded_jitter * 3, unshielded_jitter);
+}
+
+TEST(Integration, HyperthreadingWorsensDeterminism) {
+  const auto run = [](bool ht, std::uint64_t seed) {
+    config::Platform p(config::MachineConfig::dual_p4_xeon_1400(),
+                       config::KernelConfig::vanilla_2_4_20(), seed, ht);
+    workload::ScpCopy{}.install(p);
+    workload::DiskNoise{}.install(p);
+    rt::DeterminismTest::Params dp;
+    dp.loop_work = 200_ms;
+    dp.iterations = 20;
+    rt::DeterminismTest test(p.kernel(), dp);
+    p.boot();
+    p.run_for(60_s);
+    EXPECT_TRUE(test.done());
+    return test.max_observed() - test.ideal();
+  };
+  EXPECT_GT(run(true, 9), run(false, 9));
+}
+
+TEST(Integration, RcimPathBeatsRtcPathOnShieldedCpu) {
+  // §6.3's point: the ioctl/no-BKL/mmap path gives a tighter bound than
+  // the read()/fs-layer path under identical shielding.
+  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                     config::KernelConfig::redhawk_1_4(), 11);
+  workload::StressKernel{}.install(p);
+  rt::RcimTest::Params rp;
+  rp.samples = 50'000;
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RcimTest rcim(p.kernel(), p.rcim_driver(), rp);
+  p.boot();
+  p.shield().dedicate_cpu(1, rcim.task(), p.rcim_device().irq());
+  rcim.start();
+  p.run_for(120_s);
+  ASSERT_TRUE(rcim.done());
+  const auto rcim_max = rcim.latencies().max();
+
+  const auto rtc_max =
+      realfeel_max(config::KernelConfig::redhawk_1_4(), true, 500'000, 11);
+  EXPECT_LT(rcim_max, 60_us);            // the paper's <30 us scale
+  EXPECT_GE(rtc_max, rcim_max);          // read() path never beats ioctl path
+}
+
+TEST(Integration, ShieldedCpuTakesNoBackgroundTasks) {
+  auto p = redhawk_rig(13);
+  workload::StressKernel{}.install(*p);
+  auto& rt = spawn_hog(p->kernel(), "rt", hw::CpuMask::single(1),
+                       kernel::SchedPolicy::kFifo, 90);
+  p->boot();
+  p->shield().shield_all(hw::CpuMask::single(1));
+  p->run_for(5_s);
+  // Background tasks never ran on CPU 1 after shielding.
+  for (const auto& t : p->kernel().tasks()) {
+    if (t.get() == &rt) continue;
+    if (t->name.starts_with("ksoftirqd")) continue;
+    EXPECT_NE(t->cpu, 1) << t->name;
+  }
+}
+
+TEST(Integration, DynamicShieldToggleUnderLoad) {
+  // Enable and disable shielding repeatedly while the system is loaded;
+  // the model must stay consistent (no lost tasks, all still runnable).
+  auto p = redhawk_rig(15);
+  workload::StressKernel{}.install(*p);
+  p->boot();
+  for (int i = 0; i < 6; ++i) {
+    p->run_for(300_ms);
+    if (i % 2 == 0) {
+      p->shield().shield_all(hw::CpuMask::single(1));
+    } else {
+      p->shield().unshield_all();
+    }
+  }
+  p->run_for(1_s);
+  std::uint64_t total = 0;
+  for (const auto& t : p->kernel().tasks()) {
+    EXPECT_NE(t->state, kernel::TaskState::kNew) << t->name;
+    total += t->syscalls;
+  }
+  EXPECT_GT(total, 1000u);  // system still making progress
+}
+
+TEST(Integration, MlockedRtTaskNeverMigratesOffItsShield) {
+  auto p = redhawk_rig(17);
+  workload::StressKernel{}.install(*p);
+  auto& rt = spawn_hog(p->kernel(), "rt", hw::CpuMask::single(1),
+                       kernel::SchedPolicy::kFifo, 90);
+  p->boot();
+  p->shield().shield_all(hw::CpuMask::single(1));
+  p->run_for(3_s);
+  EXPECT_EQ(rt.cpu, 1);
+  EXPECT_EQ(rt.migrations, 0u);
+}

@@ -1,0 +1,146 @@
+// Model fuzzing: random task populations doing random action mixes for
+// seconds of simulated time, across seeds and kernel configs. The
+// simulator's internal SIM_ASSERT contracts are the primary oracle; the
+// checks below verify global invariants survive arbitrary interleavings.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "kernel/syscalls.h"
+#include "kernel_test_util.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+namespace {
+
+/// A task that performs a random mix of every action type the model has.
+class ChaoticBehavior final : public kernel::Behavior {
+ public:
+  explicit ChaoticBehavior(sim::Rng rng, kernel::WaitQueueId shared_wq)
+      : rng_(rng), shared_wq_(shared_wq) {}
+
+  kernel::Action next_action(kernel::Kernel& k, kernel::Task& t) override {
+    switch (rng_.uniform(0, 9)) {
+      case 0:
+      case 1:
+        return kernel::ComputeAction{rng_.uniform_duration(10_us, 5_ms),
+                                     rng_.next_double()};
+      case 2:
+        return kernel::SleepAction{rng_.uniform_duration(100_us, 20_ms)};
+      case 3:
+        return kernel::SyscallAction{"fs",
+                                     kernel::sys::fs_op(k, 100_us)};
+      case 4:
+        return kernel::SyscallAction{"mm", kernel::sys::mm_op(k, 80_us)};
+      case 5:
+        return kernel::SyscallAction{"fault", kernel::sys::fault_storm(k)};
+      case 6:
+        return kernel::SyscallAction{
+            "net", kernel::sys::socket_op(
+                       k, 50_us, [](kernel::Kernel& kk, kernel::Task& tt) {
+                         kk.raise_softirq(tt.cpu, kernel::SoftirqType::kNetRx,
+                                          30'000);
+                       })};
+      case 7: {
+        // Wake anyone parked on the shared queue, then maybe park.
+        kernel::ProgramBuilder b;
+        const auto wq = shared_wq_;
+        b.work(1_us, 0.3).effect([wq](kernel::Kernel& kk, kernel::Task&) {
+          kk.wake_up_one(wq);
+        });
+        return kernel::SyscallAction{"wake", std::move(b).build()};
+      }
+      case 8: {
+        // Change own affinity at random (never to an empty mask).
+        const auto ncpus = k.ncpus();
+        hw::CpuMask mask(rng_.uniform(1, (1u << ncpus) - 1));
+        k.sched_setaffinity(t, mask);
+        return kernel::ComputeAction{10_us, 0.2};
+      }
+      default: {
+        kernel::ProgramBuilder b;
+        b.section(kernel::LockId::kBkl, rng_.uniform_duration(1_us, 200_us));
+        return kernel::SyscallAction{"bkl", std::move(b).build()};
+      }
+    }
+  }
+
+ private:
+  sim::Rng rng_;
+  kernel::WaitQueueId shared_wq_;
+};
+
+struct FuzzParams {
+  std::uint64_t seed;
+  bool redhawk;
+};
+
+class ModelFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+}  // namespace
+
+TEST_P(ModelFuzz, InvariantsHoldUnderChaos) {
+  const auto [seed, redhawk] = GetParam();
+  auto p = redhawk ? redhawk_rig(seed) : vanilla_rig(seed);
+  auto& k = p->kernel();
+  sim::Rng rng(seed * 71);
+  const auto shared_wq = k.create_wait_queue("chaos");
+
+  const int ntasks = 6 + static_cast<int>(rng.uniform(0, 6));
+  for (int i = 0; i < ntasks; ++i) {
+    kernel::Kernel::TaskParams tp;
+    tp.name = "chaos" + std::to_string(i);
+    tp.policy = rng.chance(0.25) ? kernel::SchedPolicy::kFifo
+                                 : kernel::SchedPolicy::kOther;
+    tp.rt_priority = tp.policy == kernel::SchedPolicy::kFifo
+                         ? static_cast<int>(rng.uniform(1, 80))
+                         : 0;
+    tp.nice = static_cast<int>(rng.uniform(0, 19));
+    tp.mlocked = rng.chance(0.5);
+    k.create_task(std::move(tp),
+                  std::make_unique<ChaoticBehavior>(rng.split(), shared_wq));
+  }
+
+  p->boot();
+  // Toggle shielding mid-run on shield-capable kernels.
+  if (redhawk) {
+    p->engine().schedule(1_s, [&] {
+      p->shield().shield_all(hw::CpuMask::single(1));
+    });
+    p->engine().schedule(2_s, [&] { p->shield().unshield_all(); });
+  }
+  p->run_for(4_s);
+
+  // Global invariants after arbitrary interleavings:
+  sim::Duration total_cpu = 0;
+  for (const auto& t : k.tasks()) {
+    // 1. No task stuck in a transitional state.
+    EXPECT_NE(t->state, kernel::TaskState::kNew) << t->name;
+    // 2. Balanced lock usage whenever a task is out of the kernel.
+    if (!t->in_syscall) {
+      EXPECT_EQ(t->preempt_count, 0) << t->name;
+      EXPECT_EQ(t->bkl_depth, 0) << t->name;
+      EXPECT_EQ(t->irq_disable_depth, 0) << t->name;
+    }
+    // 3. Accounted CPU time can't exceed wall clock.
+    EXPECT_LE(t->utime, p->engine().now()) << t->name;
+    total_cpu += t->utime + t->stime;
+  }
+  // 4. Total CPU time across tasks bounded by ncpus × wall clock.
+  EXPECT_LE(total_cpu,
+            p->engine().now() * static_cast<sim::Duration>(k.ncpus()));
+  // 5. The system made real progress.
+  EXPECT_GT(p->engine().events_executed(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ModelFuzz,
+    ::testing::Values(FuzzParams{1, false}, FuzzParams{2, false},
+                      FuzzParams{3, false}, FuzzParams{4, false},
+                      FuzzParams{5, false}, FuzzParams{6, true},
+                      FuzzParams{7, true}, FuzzParams{8, true},
+                      FuzzParams{9, true}, FuzzParams{10, true},
+                      FuzzParams{11, false}, FuzzParams{12, true},
+                      FuzzParams{13, false}, FuzzParams{14, true},
+                      FuzzParams{15, false}, FuzzParams{16, true}));

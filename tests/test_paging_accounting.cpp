@@ -1,0 +1,124 @@
+// Page faults vs mlockall, tick-sampled CPU accounting, /proc/<pid>/stat,
+// and the §3 trade-off: shielding the local timer freezes the sampled
+// accounting while precise time keeps flowing.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+TEST(Paging, UnlockedTaskTakesMinorFaults) {
+  auto p = vanilla_rig(121);
+  auto& t = spawn_hog(p->kernel(), "pageable");  // mlocked defaults to false
+  p->boot();
+  p->run_for(2_s);
+  // ~2 s of CPU at one fault per ~25 ms → dozens of faults.
+  EXPECT_GT(t.minor_faults, 20u);
+  EXPECT_GT(t.stime, 0u);  // fault handling is system time
+}
+
+TEST(Paging, MlockedTaskNeverFaults) {
+  auto p = vanilla_rig(122);
+  kernel::Kernel::TaskParams tp;
+  tp.name = "locked";
+  tp.mlocked = true;
+  auto& t = workload::spawn(p->kernel(), std::move(tp),
+                            [](kernel::Kernel&, kernel::Task&) -> kernel::Action {
+                              return kernel::ComputeAction{1_ms, 0.3};
+                            });
+  p->boot();
+  p->run_for(2_s);
+  EXPECT_EQ(t.minor_faults, 0u);
+}
+
+TEST(Paging, FaultsAddJitterToComputeLoops) {
+  // Identical compute on identical idle CPUs: the pageable task's wall
+  // time must exceed the locked task's (fault handling is stolen time).
+  auto p = vanilla_rig(123);
+  std::vector<sim::Time> locked_marks, pageable_marks;
+  kernel::Kernel::TaskParams lp;
+  lp.name = "locked";
+  lp.mlocked = true;
+  lp.affinity = hw::CpuMask::single(0);
+  spawn_scripted(p->kernel(), std::move(lp),
+                 {kernel::ComputeAction{500_ms, 0.0}}, &locked_marks);
+  kernel::Kernel::TaskParams pp;
+  pp.name = "pageable";
+  pp.mlocked = false;
+  pp.affinity = hw::CpuMask::single(1);
+  spawn_scripted(p->kernel(), std::move(pp),
+                 {kernel::ComputeAction{500_ms, 0.0}}, &pageable_marks);
+  p->boot();
+  p->run_for(3_s);
+  ASSERT_EQ(locked_marks.size(), 2u);
+  ASSERT_EQ(pageable_marks.size(), 2u);
+  EXPECT_GT(pageable_marks[1] - pageable_marks[0],
+            locked_marks[1] - locked_marks[0]);
+}
+
+TEST(Paging, FaultStateIsNotUserMode) {
+  // Vanilla: an RT wake while the current task handles a fault must wait
+  // (fault handling is kernel code), unlike plain user compute.
+  kernel::Task t;
+  t.in_syscall = false;
+  EXPECT_TRUE(t.in_user_mode());
+  t.frames.push_back(kernel::TaskFrame{kernel::TaskFrame::Kind::kUserCompute,
+                                       100, 0.2, kernel::LockId::kCount, false});
+  EXPECT_TRUE(t.in_user_mode());
+  t.frames.push_back(kernel::TaskFrame{kernel::TaskFrame::Kind::kFault, 100,
+                                       0.5, kernel::LockId::kCount, false});
+  EXPECT_FALSE(t.in_user_mode());
+}
+
+TEST(TickAccounting, SampledTimesTrackPreciseTimes) {
+  auto p = vanilla_rig(124);
+  auto& t = spawn_hog(p->kernel(), "hog", hw::CpuMask::single(0));
+  p->boot();
+  p->run_for(5_s);
+  // ~500 ticks over 5 s, nearly all landing in user mode.
+  EXPECT_GT(t.utime_ticks, 400u);
+  // Sampled time (ticks × 10 ms) within 15% of precise utime.
+  const double sampled = static_cast<double>(t.utime_ticks) * 10e6;
+  EXPECT_NEAR(sampled, static_cast<double>(t.utime),
+              static_cast<double>(t.utime) * 0.15);
+}
+
+TEST(TickAccounting, LtmrShieldFreezesSampledAccounting) {
+  // The §3 trade-off, verbatim: disable the local timer on CPU 1 and the
+  // tick-sampled accounting stops while the precise clock keeps counting.
+  auto p = redhawk_rig(125);
+  auto& t = spawn_hog(p->kernel(), "rt", hw::CpuMask::single(1),
+                      kernel::SchedPolicy::kFifo, 80);
+  p->boot();
+  p->run_for(1_s);
+  const auto ticks_before = t.utime_ticks;
+  const auto utime_before = t.utime;
+  EXPECT_GT(ticks_before, 50u);
+  p->shield().set_ltmr_shield(hw::CpuMask::single(1));
+  p->run_for(2_s);
+  EXPECT_EQ(t.utime_ticks, ticks_before);   // frozen
+  EXPECT_GT(t.utime, utime_before + 1_s);   // precise time keeps flowing
+}
+
+TEST(ProcPidStat, FileExistsAndReflectsTask) {
+  auto p = vanilla_rig(126);
+  auto& t = spawn_hog(p->kernel(), "statme", hw::CpuMask::single(0));
+  p->boot();
+  p->run_for(1_s);
+  const auto content =
+      p->kernel().procfs().read("/proc/" + std::to_string(t.pid) + "/stat");
+  ASSERT_TRUE(content.has_value());
+  EXPECT_NE(content->find("(statme)"), std::string::npos) << *content;
+  // utime_ticks present and non-zero for a CPU hog.
+  EXPECT_GT(t.utime_ticks, 10u);
+}
+
+TEST(ProcPidStat, KsoftirqdHasStatFile) {
+  auto p = vanilla_rig(127);
+  p->boot();
+  auto* kd = p->kernel().find_task("ksoftirqd/0");
+  ASSERT_NE(kd, nullptr);
+  EXPECT_TRUE(p->kernel().procfs().exists("/proc/" + std::to_string(kd->pid) +
+                                          "/stat"));
+}

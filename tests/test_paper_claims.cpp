@@ -1,0 +1,122 @@
+// The paper's headline claims, pinned as regression tests at reduced
+// sample counts. These use the same experiment definitions as the bench
+// binaries, so a calibration regression in the model breaks CI here before
+// anyone re-reads a figure.
+#include <gtest/gtest.h>
+
+#include "config/experiment.h"
+#include "kernel_test_util.h"
+
+using namespace sim::literals;
+
+namespace {
+
+double jitter_pct(const config::ExperimentResult& r) {
+  return 100.0 * static_cast<double>(r.latencies.max()) /
+         static_cast<double>(r.ideal);
+}
+
+config::ExperimentResult run(const char* name, double scale,
+                             std::uint64_t seed = 2003) {
+  const auto* e = config::ExperimentRegistry::builtin().find(name);
+  EXPECT_NE(e, nullptr) << name;
+  return e->run(seed, scale);
+}
+
+}  // namespace
+
+TEST(PaperClaims, Fig1VanillaHtJitterAbove15Percent) {
+  const auto r = run("fig1", 0.4);
+  EXPECT_GT(jitter_pct(r), 15.0);  // paper: 26.17 %
+  EXPECT_LT(jitter_pct(r), 45.0);
+}
+
+TEST(PaperClaims, Fig2ShieldedJitterBelow4Percent) {
+  const auto r = run("fig2", 0.4);
+  EXPECT_LT(jitter_pct(r), 4.0);  // paper: 1.87 %
+  EXPECT_GT(jitter_pct(r), 0.1);  // but not zero: memory contention remains
+}
+
+TEST(PaperClaims, Fig3And4AreComparable) {
+  // RedHawk unshielded ≈ vanilla no-HT: within 2x of each other, both far
+  // above the shielded case.
+  const auto f3 = run("fig3", 0.4);
+  const auto f4 = run("fig4", 0.4);
+  const double j3 = jitter_pct(f3);
+  const double j4 = jitter_pct(f4);
+  EXPECT_GT(j3, 5.0);
+  EXPECT_GT(j4, 5.0);
+  EXPECT_LT(j3 / j4, 2.0);
+  EXPECT_LT(j4 / j3, 2.0);
+}
+
+TEST(PaperClaims, HyperthreadingRoughlyDoublesVanillaJitter) {
+  const double j1 = jitter_pct(run("fig1", 0.4));
+  const double j4 = jitter_pct(run("fig4", 0.4));
+  EXPECT_GT(j1 / j4, 1.4);  // paper ratio: 26.17/13.15 ≈ 2.0
+  EXPECT_LT(j1 / j4, 3.5);
+}
+
+TEST(PaperClaims, Fig5VanillaWorstCaseIsTensOfMilliseconds) {
+  const auto r = run("fig5", 0.05);  // 100k samples
+  EXPECT_GT(r.latencies.max(), 5_ms);
+  EXPECT_LT(r.latencies.max(), 95_ms);
+  // Majority of responses are still fast — the paper's histogram shape.
+  EXPECT_GT(r.latencies.fraction_below(100_us), 0.90);
+}
+
+TEST(PaperClaims, Fig6ShieldedWorstCaseIsSubMillisecond) {
+  const auto r = run("fig6", 0.05);
+  EXPECT_LT(r.latencies.max(), 1_ms);  // paper: 0.565 ms
+  EXPECT_GT(r.latencies.fraction_below(100_us), 0.999);
+}
+
+TEST(PaperClaims, Fig7RcimGuaranteeUnder100Microseconds) {
+  const auto r = run("fig7", 0.02);
+  EXPECT_LT(r.latencies.max(), 100_us);  // paper: 27 us
+  EXPECT_GT(r.latencies.min(), 3_us);    // paper: 11 us
+  // avg hugs min: the path is constant-cost.
+  EXPECT_LT(r.latencies.mean(), r.latencies.min() * 2);
+}
+
+TEST(PaperClaims, PreemptLowlatLandsNearOneMillisecond) {
+  // The Red Hat result the paper cites [5]: 1.2 ms worst case.
+  const auto r = run("preempt-lowlat", 0.1);
+  EXPECT_LT(r.latencies.max(), 3_ms);
+  EXPECT_GT(r.latencies.max(), 50_us);
+}
+
+TEST(PaperClaims, ShieldingBeatsEveryUnshieldedConfiguration) {
+  const auto f5 = run("fig5", 0.02);
+  const auto pl = run("preempt-lowlat", 0.02);
+  const auto f6 = run("fig6", 0.02);
+  EXPECT_LT(f6.latencies.max(), pl.latencies.max());
+  EXPECT_LT(pl.latencies.max(), f5.latencies.max());
+}
+
+// ---- registry plumbing ----------------------------------------------------------
+
+TEST(ExperimentRegistry, AllFiguresRegistered) {
+  const auto& reg = config::ExperimentRegistry::builtin();
+  for (const char* name :
+       {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "preempt-lowlat"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.find("fig99"), nullptr);
+  EXPECT_EQ(reg.names().size(), reg.all().size());
+}
+
+TEST(ExperimentRegistry, ResultsRenderNonEmpty) {
+  const auto r = run("fig7", 0.002);
+  const std::string s = r.render();
+  EXPECT_NE(s.find("fig7"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);  // histogram bars
+}
+
+TEST(ExperimentRegistry, SameSeedSameResult) {
+  const auto a = run("fig6", 0.005, 42);
+  const auto b = run("fig6", 0.005, 42);
+  EXPECT_EQ(a.latencies.max(), b.latencies.max());
+  EXPECT_EQ(a.events, b.events);
+}

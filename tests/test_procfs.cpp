@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "kernel/procfs.h"
+#include "kernel_test_util.h"
+
+using kernel::ProcFs;
+using namespace testutil;
+
+TEST(ProcFs, ReadMissingPathFails) {
+  ProcFs fs;
+  EXPECT_FALSE(fs.exists("/proc/nope"));
+  EXPECT_FALSE(fs.read("/proc/nope").has_value());
+}
+
+TEST(ProcFs, RegisterAndRead) {
+  ProcFs fs;
+  fs.register_file("/proc/value", [] { return std::string("42\n"); });
+  ASSERT_TRUE(fs.exists("/proc/value"));
+  EXPECT_EQ(fs.read("/proc/value").value(), "42\n");
+}
+
+TEST(ProcFs, WriteDispatchesToHandler) {
+  ProcFs fs;
+  std::string stored;
+  fs.register_file(
+      "/proc/knob", [&] { return stored; },
+      [&](std::string_view data) {
+        stored = std::string(data);
+        return true;
+      });
+  EXPECT_TRUE(fs.write("/proc/knob", "on"));
+  EXPECT_EQ(fs.read("/proc/knob").value(), "on");
+}
+
+TEST(ProcFs, WriteToReadOnlyFails) {
+  ProcFs fs;
+  fs.register_file("/proc/ro", [] { return std::string("x"); });
+  EXPECT_FALSE(fs.write("/proc/ro", "y"));
+}
+
+TEST(ProcFs, WriteToMissingFails) {
+  ProcFs fs;
+  EXPECT_FALSE(fs.write("/proc/nope", "y"));
+}
+
+TEST(ProcFs, HandlerCanReject) {
+  ProcFs fs;
+  fs.register_file("/proc/picky", [] { return std::string(); },
+                   [](std::string_view data) { return data == "ok"; });
+  EXPECT_TRUE(fs.write("/proc/picky", "ok"));
+  EXPECT_FALSE(fs.write("/proc/picky", "bad"));
+}
+
+TEST(ProcFs, ListByPrefix) {
+  ProcFs fs;
+  fs.register_file("/proc/irq/8/smp_affinity", [] { return std::string(); });
+  fs.register_file("/proc/irq/10/smp_affinity", [] { return std::string(); });
+  fs.register_file("/proc/shield/procs", [] { return std::string(); });
+  EXPECT_EQ(fs.list("/proc/irq/").size(), 2u);
+  EXPECT_EQ(fs.list("/proc/").size(), 3u);
+  EXPECT_EQ(fs.list("/proc/shield").size(), 1u);
+}
+
+TEST(ProcFs, ReRegisterOverrides) {
+  ProcFs fs;
+  fs.register_file("/proc/x", [] { return std::string("old"); });
+  fs.register_file("/proc/x", [] { return std::string("new"); });
+  EXPECT_EQ(fs.read("/proc/x").value(), "new");
+}
+
+TEST(ProcFs, RejectsRelativePaths) {
+  ProcFs fs;
+  EXPECT_DEATH(fs.register_file("proc/x", [] { return std::string(); }),
+               "absolute");
+}
+
+TEST(ProcFs, KernelRegistersIrqAffinityFiles) {
+  auto p = vanilla_rig();
+  auto& fs = p->kernel().procfs();
+  EXPECT_TRUE(fs.exists("/proc/irq/8/smp_affinity"));
+  EXPECT_TRUE(fs.exists("/proc/interrupts"));
+  // Hex write with the real format.
+  EXPECT_TRUE(fs.write("/proc/irq/8/smp_affinity", "1\n"));
+  EXPECT_EQ(p->interrupt_controller().affinity(8), hw::CpuMask::single(0));
+  // Invalid mask (no online CPU) rejected.
+  EXPECT_FALSE(fs.write("/proc/irq/8/smp_affinity", "4"));
+}
+
+TEST(ProcFs, InterruptsFileShowsCounts) {
+  auto p = vanilla_rig(61);
+  p->rtc_device().set_rate_hz(64);
+  p->rtc_device().start_periodic();
+  p->boot();
+  p->run_for(1_s);
+  const std::string s = p->kernel().procfs().read("/proc/interrupts").value();
+  EXPECT_NE(s.find("CPU0"), std::string::npos);
+  EXPECT_NE(s.find("8:"), std::string::npos);  // RTC line
+}

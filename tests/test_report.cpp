@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "metrics/report.h"
+
+using namespace sim::literals;
+
+TEST(Report, DeterminismLegendMatchesPaperFormat) {
+  // Fig 1 legend: ideal 1.150000, max 1.450000, jitter 0.300000 (26.09%).
+  const std::string s =
+      metrics::determinism_legend(1'150'000'000, 1'450'000'000);
+  EXPECT_NE(s.find("ideal: 1.150000 sec"), std::string::npos) << s;
+  EXPECT_NE(s.find("max: 1.450000 sec"), std::string::npos) << s;
+  EXPECT_NE(s.find("jitter: 0.300000 sec (26.09%)"), std::string::npos) << s;
+}
+
+TEST(Report, DeterminismLegendZeroJitter) {
+  const std::string s = metrics::determinism_legend(1_s, 1_s);
+  EXPECT_NE(s.find("(0.00%)"), std::string::npos) << s;
+}
+
+TEST(Report, CumulativeTableShowsCountsAndPercents) {
+  metrics::LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.add(50_us);
+  h.add(5_ms);
+  const sim::Duration edges[] = {100_us, 10_ms};
+  const std::string s = metrics::cumulative_bucket_table(h, std::span(edges));
+  EXPECT_NE(s.find("100 measured interrupts"), std::string::npos) << s;
+  EXPECT_NE(s.find("99"), std::string::npos) << s;
+  EXPECT_NE(s.find("99.0000%"), std::string::npos) << s;
+  EXPECT_NE(s.find("100.0000%"), std::string::npos) << s;
+}
+
+TEST(Report, CumulativeTableStopsWhenSaturated) {
+  metrics::LatencyHistogram h;
+  h.add(1_us);
+  const auto edges = metrics::figure5_thresholds();
+  const std::string s = metrics::cumulative_bucket_table(h, edges);
+  // Everything is below the first threshold; the ladder must not print all
+  // fifteen redundant lines (the paper truncates too).
+  EXPECT_EQ(s.find("90.00ms"), std::string::npos) << s;
+}
+
+TEST(Report, Figure5ThresholdLadder) {
+  const auto t = metrics::figure5_thresholds();
+  ASSERT_EQ(t.size(), 15u);
+  EXPECT_EQ(t.front(), 100_us);
+  EXPECT_EQ(t.back(), 100_ms);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i], t[i - 1]);
+}
+
+TEST(Report, MinAvgMaxLineMicroseconds) {
+  metrics::LatencyHistogram h;
+  h.add(11'000);
+  h.add(27'000);
+  const std::string s = metrics::min_avg_max_line(h);
+  EXPECT_NE(s.find("minimum latency: 11.0 microseconds"), std::string::npos) << s;
+  EXPECT_NE(s.find("maximum latency: 27.0 microseconds"), std::string::npos) << s;
+  EXPECT_NE(s.find("average latency: 19.0 microseconds"), std::string::npos) << s;
+}
+
+TEST(Report, AsciiHistogramHandlesEmpty) {
+  metrics::LatencyHistogram h;
+  EXPECT_EQ(metrics::ascii_histogram(h), "(no samples)\n");
+}
+
+TEST(Report, AsciiHistogramHasAxisAndBars) {
+  metrics::LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(10_us);
+  h.add(1_ms);
+  const std::string s = metrics::ascii_histogram(h, 40, 6);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("+---"), std::string::npos);
+}
+
+TEST(Report, RenderTableAligns) {
+  const std::string s = metrics::render_table(
+      "t", {{"name", "value"}, {"a", "1"}, {"long-name", "22"}});
+  EXPECT_NE(s.find("== t =="), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+}

@@ -1,0 +1,67 @@
+// Bit-level reproducibility: the same seed must give the same results; a
+// different seed must (almost surely) give different ones.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+#include "rt/realfeel_test.h"
+#include "workload/stress_kernel.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t events;
+  sim::Duration max_latency;
+  sim::Duration mean_latency;
+  std::uint64_t syscalls;
+};
+
+RunResult run_once(std::uint64_t seed) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                     config::KernelConfig::vanilla_2_4_20(), seed);
+  workload::StressKernel{}.install(p);
+  rt::RealfeelTest::Params rp;
+  rp.samples = 20'000;
+  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+  p.boot();
+  test.start();
+  p.run_for(30_s);
+  std::uint64_t syscalls = 0;
+  for (const auto& t : p.kernel().tasks()) syscalls += t->syscalls;
+  return RunResult{p.engine().events_executed(), test.latencies().max(),
+                   test.latencies().mean(), syscalls};
+}
+
+}  // namespace
+
+TEST(Reproducibility, SameSeedSameRun) {
+  const auto a = run_once(12345);
+  const auto b = run_once(12345);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.max_latency, b.max_latency);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.syscalls, b.syscalls);
+}
+
+TEST(Reproducibility, DifferentSeedDifferentRun) {
+  const auto a = run_once(1);
+  const auto b = run_once(2);
+  // Event counts of two 30 s stress runs colliding would be astonishing.
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(Reproducibility, ShieldedRunsAreAlsoDeterministic) {
+  const auto run = [](std::uint64_t seed) {
+    auto p = redhawk_rig(seed);
+    workload::StressKernel{}.install(*p);
+    auto& rt = spawn_hog(p->kernel(), "rt", hw::CpuMask::single(1),
+                         kernel::SchedPolicy::kFifo, 90);
+    p->boot();
+    p->shield().shield_all(hw::CpuMask::single(1));
+    p->run_for(3_s);
+    return std::pair{p->engine().events_executed(), rt.utime};
+  };
+  EXPECT_EQ(run(777), run(777));
+}

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+using sim::Rng;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentConsumption) {
+  // Splitting then consuming the parent must not change the child stream.
+  Rng parent1(7);
+  Rng child1 = parent1.split();
+  const auto v1 = child1.next_u64();
+
+  Rng parent2(7);
+  Rng child2 = parent2.split();
+  parent2.next_u64();  // extra parent consumption
+  const auto v2 = child2.next_u64();
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectssBounds) {
+  Rng r(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = r.uniform(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng r(5);
+  EXPECT_EQ(r.uniform(7, 7), 7u);
+  EXPECT_EQ(r.uniform(0, 0), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(11);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10'000; ++i) {
+    hits[r.uniform(0, 9)]++;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GT(hits[static_cast<std::size_t>(i)], 800) << "bucket " << i;
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, ExponentialAlwaysNonNegative) {
+  Rng r(23);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_GE(r.exponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng r(29);
+  const int n = 200'000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng r(31);
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = r.bounded_pareto(2.0, 1000.0, 1.1);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 1000.0);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  // Most mass near the lower bound, a real tail near the top.
+  Rng r(37);
+  int low = 0, high = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.bounded_pareto(1.0, 10'000.0, 1.05);
+    if (x < 10.0) ++low;
+    if (x > 1'000.0) ++high;
+  }
+  EXPECT_GT(low, n / 2);  // majority short
+  EXPECT_GT(high, 0);     // but the tail exists
+  EXPECT_LT(high, n / 20);
+}
+
+TEST(Rng, BoundedParetoDurationBounds) {
+  Rng r(41);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto d = r.bounded_pareto_duration(100, 50'000, 1.2);
+    ASSERT_GE(d, 100u);
+    ASSERT_LE(d, 50'000u);
+  }
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng r(43);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_GT(r.lognormal(0.0, 1.0), 0.0);
+  }
+}

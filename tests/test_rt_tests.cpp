@@ -1,0 +1,145 @@
+// The RT measurement applications themselves.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+#include "rt/determinism_test.h"
+#include "rt/rcim_test.h"
+#include "rt/realfeel_test.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+TEST(DeterminismTest, UnloadedLoopIsNearIdeal) {
+  auto p = redhawk_rig(111);
+  rt::DeterminismTest::Params dp;
+  dp.loop_work = 100_ms;
+  dp.iterations = 10;
+  dp.affinity = hw::CpuMask::single(1);
+  rt::DeterminismTest test(p->kernel(), dp);
+  p->boot();
+  p->shield().shield_all(hw::CpuMask::single(1));
+  p->run_for(5_s);
+  ASSERT_TRUE(test.done());
+  EXPECT_EQ(test.samples().size(), 10u);
+  // Shielded + unloaded: every sample within 1% of ideal.
+  for (const auto s : test.samples()) {
+    EXPECT_GE(s, dp.loop_work);
+    EXPECT_LT(s, dp.loop_work + dp.loop_work / 100);
+  }
+}
+
+TEST(DeterminismTest, ExcessHistogramMatchesSamples) {
+  auto p = redhawk_rig(112);
+  rt::DeterminismTest::Params dp;
+  dp.loop_work = 50_ms;
+  dp.iterations = 5;
+  rt::DeterminismTest test(p->kernel(), dp);
+  p->boot();
+  p->run_for(2_s);
+  ASSERT_TRUE(test.done());
+  const auto h = test.excess_histogram();
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.max(), test.max_observed() - test.ideal());
+}
+
+TEST(DeterminismTest, TaskIsFifoAndLocked) {
+  auto p = vanilla_rig(113);
+  rt::DeterminismTest test(p->kernel(), {});
+  EXPECT_EQ(test.task().policy, kernel::SchedPolicy::kFifo);
+  EXPECT_TRUE(test.task().mlocked);
+}
+
+TEST(RealfeelTest, CollectsRequestedSamples) {
+  auto p = vanilla_rig(114);
+  rt::RealfeelTest::Params rp;
+  rp.rate_hz = 2048;
+  rp.samples = 1000;
+  rt::RealfeelTest test(p->kernel(), p->rtc_driver(), rp);
+  p->boot();
+  test.start();
+  p->run_for(2_s);
+  EXPECT_TRUE(test.done());
+  EXPECT_EQ(test.latencies().count(), 1000u);
+  EXPECT_EQ(test.wake_latencies().count(), 1000u);
+}
+
+TEST(RealfeelTest, IdleSystemLatencyIsMicroseconds) {
+  auto p = redhawk_rig(115);
+  rt::RealfeelTest::Params rp;
+  rp.samples = 2000;
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RealfeelTest test(p->kernel(), p->rtc_driver(), rp);
+  p->boot();
+  p->shield().dedicate_cpu(1, test.task(), p->rtc_device().irq());
+  test.start();
+  p->run_for(5_s);
+  ASSERT_TRUE(test.done());
+  // Gap-based latency on an idle shielded CPU: negligible.
+  EXPECT_LT(test.latencies().max(), 50_us);
+  // Absolute wake latency: handler + switch, some tens of microseconds.
+  EXPECT_GT(test.wake_latencies().min(), 3_us);
+  EXPECT_LT(test.wake_latencies().max(), 60_us);
+}
+
+TEST(RealfeelTest, LateReaderSkipsInterrupts) {
+  // If the reader is delayed past a whole period, the gap latency reflects
+  // the missed periods (realfeel's behaviour on the 92 ms outliers).
+  auto p = vanilla_rig(116);
+  auto& k = p->kernel();
+  rt::RealfeelTest::Params rp;
+  rp.rate_hz = 2048;
+  rp.samples = 3000;
+  rp.affinity = hw::CpuMask::single(0);
+  rt::RealfeelTest test(k, p->rtc_driver(), rp);
+  // A higher-priority FIFO hog periodically freezes the reader's CPU.
+  kernel::Kernel::TaskParams tp;
+  tp.name = "freezer";
+  tp.policy = kernel::SchedPolicy::kFifo;
+  tp.rt_priority = 99;  // above realfeel's 95
+  tp.affinity = hw::CpuMask::single(0);
+  workload::spawn(k, std::move(tp),
+                  [](kernel::Kernel&, kernel::Task&) -> kernel::Action {
+                    static int n = 0;
+                    if (++n % 2 == 1) return kernel::SleepAction{200_ms};
+                    return kernel::ComputeAction{5_ms, 0.2};
+                  });
+  p->boot();
+  test.start();
+  p->run_for(10_s);
+  ASSERT_TRUE(test.done());
+  // The 5 ms freezes appear as multi-period gap latencies.
+  EXPECT_GT(test.latencies().max(), 3_ms);
+}
+
+TEST(RcimTest, MeasurementAgreesWithGroundTruth) {
+  auto p = redhawk_rig(117);
+  rt::RcimTest::Params rp;
+  rp.samples = 2000;
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RcimTest test(p->kernel(), p->rcim_driver(), rp);
+  p->boot();
+  p->shield().dedicate_cpu(1, test.task(), p->rcim_device().irq());
+  test.start();
+  p->run_for(5_s);
+  ASSERT_TRUE(test.done());
+  EXPECT_EQ(test.overruns(), 0u);
+  // The register-based measurement and the simulator's ground truth agree
+  // to within one RCIM tick (400 ns).
+  EXPECT_NEAR(static_cast<double>(test.latencies().mean()),
+              static_cast<double>(test.true_latencies().mean()), 400.0);
+}
+
+TEST(RcimTest, ShieldedLatencyIsTensOfMicroseconds) {
+  auto p = redhawk_rig(118);
+  rt::RcimTest::Params rp;
+  rp.samples = 5000;
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RcimTest test(p->kernel(), p->rcim_driver(), rp);
+  p->boot();
+  p->shield().dedicate_cpu(1, test.task(), p->rcim_device().irq());
+  test.start();
+  p->run_for(10_s);
+  ASSERT_TRUE(test.done());
+  EXPECT_GT(test.latencies().min(), 3_us);
+  EXPECT_LT(test.latencies().max(), 60_us);
+}

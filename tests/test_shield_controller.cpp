@@ -1,0 +1,199 @@
+// The shield controller: dynamic enable/disable, task migration, IRQ
+// re-steering, local-timer disable, the /proc/shield files, and the
+// interplay with smp_affinity.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+#include "workload/stress_kernel.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+TEST(ShieldController, RequiresKernelSupport) {
+  auto p = vanilla_rig();
+  EXPECT_FALSE(p->has_shield());
+  EXPECT_DEATH(shield::ShieldController ctl(p->kernel()), "shield support");
+}
+
+TEST(ShieldController, ProcessShieldMigratesRunningTask) {
+  auto p = redhawk_rig();
+  auto& t = spawn_hog(p->kernel(), "bg");  // affinity: all CPUs
+  p->boot();
+  p->run_for(50_ms);
+  const hw::CpuId was_on = t.cpu;
+  ASSERT_GE(was_on, 0);
+  p->shield().set_process_shield(hw::CpuMask::single(was_on));
+  p->run_for(50_ms);
+  EXPECT_NE(t.cpu, was_on);
+  EXPECT_FALSE(t.effective_affinity.test(was_on));
+  EXPECT_EQ(t.user_affinity, p->topology().all_cpus());  // request unchanged
+}
+
+TEST(ShieldController, OptedInTaskStaysOnShieldedCpu) {
+  auto p = redhawk_rig();
+  auto& rt = spawn_hog(p->kernel(), "rt", hw::CpuMask::single(1),
+                       kernel::SchedPolicy::kFifo, 70);
+  p->boot();
+  p->run_for(20_ms);
+  p->shield().set_process_shield(hw::CpuMask::single(1));
+  p->run_for(50_ms);
+  EXPECT_EQ(rt.cpu, 1);
+  EXPECT_TRUE(rt.effective_affinity.test(1));
+}
+
+TEST(ShieldController, KsoftirqdSurvivesShielding) {
+  // Per-CPU kernel threads have single-CPU affinity, which is a subset of
+  // the shield — the §3 semantics keep them in place automatically.
+  auto p = redhawk_rig();
+  p->boot();
+  p->shield().set_process_shield(hw::CpuMask::single(1));
+  auto* kd = p->kernel().find_task("ksoftirqd/1");
+  ASSERT_NE(kd, nullptr);
+  EXPECT_TRUE(kd->effective_affinity.test(1));
+}
+
+TEST(ShieldController, IrqShieldSteersInterruptLines) {
+  auto p = redhawk_rig();
+  p->boot();
+  auto& ic = p->interrupt_controller();
+  EXPECT_TRUE(ic.affinity(hw::kIrqNic).test(1));
+  p->shield().set_irq_shield(hw::CpuMask::single(1));
+  EXPECT_FALSE(ic.affinity(hw::kIrqNic).test(1));
+  EXPECT_FALSE(ic.affinity(hw::kIrqDisk).test(1));
+}
+
+TEST(ShieldController, IrqOptedOntoShieldStays) {
+  auto p = redhawk_rig();
+  p->boot();
+  auto& ic = p->interrupt_controller();
+  // Bind the RCIM IRQ to CPU 1 via smp_affinity, then shield CPU 1.
+  ASSERT_TRUE(p->kernel().procfs().write(
+      "/proc/irq/" + std::to_string(hw::kIrqRcim) + "/smp_affinity", "2"));
+  p->shield().set_irq_shield(hw::CpuMask::single(1));
+  EXPECT_EQ(ic.affinity(hw::kIrqRcim), hw::CpuMask::single(1));
+  EXPECT_FALSE(ic.affinity(hw::kIrqNic).test(1));
+}
+
+TEST(ShieldController, LtmrShieldStopsTicks) {
+  auto p = redhawk_rig();
+  p->boot();
+  p->run_for(100_ms);
+  p->shield().set_ltmr_shield(hw::CpuMask::single(1));
+  const auto ticks = p->kernel().local_timer().tick_count(1);
+  p->run_for(500_ms);
+  EXPECT_EQ(p->kernel().local_timer().tick_count(1), ticks);
+  EXPECT_GT(p->kernel().local_timer().tick_count(0), 50u);
+}
+
+TEST(ShieldController, UnshieldRestoresEverything) {
+  auto p = redhawk_rig();
+  auto& t = spawn_hog(p->kernel(), "bg");
+  p->boot();
+  p->shield().shield_all(hw::CpuMask::single(1));
+  p->run_for(100_ms);
+  p->shield().unshield_all();
+  p->run_for(100_ms);
+  EXPECT_EQ(t.effective_affinity, p->topology().all_cpus());
+  EXPECT_TRUE(p->interrupt_controller().affinity(hw::kIrqNic).test(1));
+  EXPECT_TRUE(p->kernel().local_timer().enabled(1));
+  // Ticks resumed on CPU 1.
+  const auto ticks = p->kernel().local_timer().tick_count(1);
+  p->run_for(200_ms);
+  EXPECT_GT(p->kernel().local_timer().tick_count(1), ticks);
+}
+
+TEST(ShieldController, FullyShieldedPredicate) {
+  auto p = redhawk_rig();
+  p->boot();
+  auto& s = p->shield();
+  EXPECT_FALSE(s.fully_shielded(1));
+  s.set_process_shield(hw::CpuMask::single(1));
+  s.set_irq_shield(hw::CpuMask::single(1));
+  EXPECT_FALSE(s.fully_shielded(1));
+  s.set_ltmr_shield(hw::CpuMask::single(1));
+  EXPECT_TRUE(s.fully_shielded(1));
+  EXPECT_FALSE(s.fully_shielded(0));
+}
+
+TEST(ShieldController, DedicateCpuDoesTheWholeRecipe) {
+  auto p = redhawk_rig();
+  auto& rt = spawn_hog(p->kernel(), "rt", {}, kernel::SchedPolicy::kFifo, 90);
+  p->boot();
+  p->shield().dedicate_cpu(1, rt, p->rcim_device().irq());
+  EXPECT_TRUE(p->shield().fully_shielded(1));
+  EXPECT_EQ(rt.effective_affinity, hw::CpuMask::single(1));
+  EXPECT_EQ(p->interrupt_controller().affinity(p->rcim_device().irq()),
+            hw::CpuMask::single(1));
+  p->run_for(50_ms);
+  EXPECT_EQ(rt.cpu, 1);
+}
+
+// ---- /proc/shield interface --------------------------------------------------
+
+TEST(ShieldProcfs, FilesExistOnShieldKernels) {
+  auto p = redhawk_rig();
+  auto& fs = p->kernel().procfs();
+  EXPECT_TRUE(fs.exists("/proc/shield/procs"));
+  EXPECT_TRUE(fs.exists("/proc/shield/irqs"));
+  EXPECT_TRUE(fs.exists("/proc/shield/ltmr"));
+}
+
+TEST(ShieldProcfs, AbsentWithoutShieldSupport) {
+  auto p = vanilla_rig();
+  EXPECT_FALSE(p->kernel().procfs().exists("/proc/shield/procs"));
+}
+
+TEST(ShieldProcfs, WriteEnablesShieldDynamically) {
+  auto p = redhawk_rig();
+  auto& t = spawn_hog(p->kernel(), "bg");
+  p->boot();
+  p->run_for(20_ms);
+  // Exactly the paper's administrative flow: echo 2 > /proc/shield/procs.
+  ASSERT_TRUE(p->kernel().procfs().write("/proc/shield/procs", "2\n"));
+  EXPECT_EQ(p->kernel().procfs().read("/proc/shield/procs").value(), "2\n");
+  p->run_for(50_ms);
+  EXPECT_FALSE(t.effective_affinity.test(1));
+}
+
+TEST(ShieldProcfs, RejectsGarbage) {
+  auto p = redhawk_rig();
+  EXPECT_FALSE(p->kernel().procfs().write("/proc/shield/procs", "zap"));
+  EXPECT_FALSE(p->kernel().procfs().write("/proc/shield/irqs", ""));
+}
+
+TEST(ShieldProcfs, ReadsReflectCurrentMasks) {
+  auto p = redhawk_rig();
+  p->shield().set_irq_shield(hw::CpuMask(0b10));
+  p->shield().set_ltmr_shield(hw::CpuMask(0b11));
+  EXPECT_EQ(p->kernel().procfs().read("/proc/shield/irqs").value(), "2\n");
+  EXPECT_EQ(p->kernel().procfs().read("/proc/shield/ltmr").value(), "3\n");
+}
+
+TEST(ShieldProcfs, SmpAffinityWriteComposesWithShield) {
+  auto p = redhawk_rig();
+  p->boot();
+  p->shield().set_irq_shield(hw::CpuMask::single(1));
+  // Writing an affinity overlapping the shield: the shielded CPU is
+  // stripped from the delivered mask, but the user intent is remembered.
+  ASSERT_TRUE(p->kernel().procfs().write(
+      "/proc/irq/" + std::to_string(hw::kIrqNic) + "/smp_affinity", "3"));
+  EXPECT_EQ(p->interrupt_controller().affinity(hw::kIrqNic),
+            hw::CpuMask::single(0));
+  // Dropping the shield restores the requested mask.
+  p->shield().set_irq_shield(hw::CpuMask::none());
+  EXPECT_EQ(p->interrupt_controller().affinity(hw::kIrqNic), hw::CpuMask(0b11));
+}
+
+TEST(ShieldedCpuBehaviour, NoInterruptsReachFullyShieldedCpu) {
+  auto p = redhawk_rig(51);
+  workload::StressKernel{}.install(*p);
+  auto& rt = spawn_hog(p->kernel(), "rt", hw::CpuMask::single(1),
+                       kernel::SchedPolicy::kFifo, 90);
+  (void)rt;
+  p->boot();
+  p->shield().shield_all(hw::CpuMask::single(1));
+  const auto before = p->kernel().cpu(1).hardirqs;
+  p->run_for(2_s);
+  // Only pre-shield deliveries (if any) count; after shielding, zero.
+  EXPECT_EQ(p->kernel().cpu(1).hardirqs, before);
+}

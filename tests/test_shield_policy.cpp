@@ -1,0 +1,73 @@
+// The §3 mask-interaction semantics, as pure algebra.
+#include <gtest/gtest.h>
+
+#include "shield/shield_policy.h"
+
+using hw::CpuMask;
+using shield::effective_affinity;
+using shield::opted_onto_shield;
+
+TEST(ShieldPolicy, NoShieldIsIdentity) {
+  EXPECT_EQ(effective_affinity(CpuMask(0b11), CpuMask::none()), CpuMask(0b11));
+  EXPECT_EQ(effective_affinity(CpuMask(0b01), CpuMask::none()), CpuMask(0b01));
+}
+
+TEST(ShieldPolicy, ShieldedCpusRemovedFromOrdinaryTasks) {
+  // Affinity {0,1}, CPU 1 shielded → effective {0}.
+  EXPECT_EQ(effective_affinity(CpuMask(0b11), CpuMask(0b10)), CpuMask(0b01));
+}
+
+TEST(ShieldPolicy, SubsetOfShieldKeepsItsMask) {
+  // "To run on a shielded CPU, a process must set its CPU affinity such
+  //  that it contains only shielded CPUs."
+  EXPECT_EQ(effective_affinity(CpuMask(0b10), CpuMask(0b10)), CpuMask(0b10));
+  EXPECT_EQ(effective_affinity(CpuMask(0b110), CpuMask(0b111)), CpuMask(0b110));
+}
+
+TEST(ShieldPolicy, PartialOverlapLosesShieldedCpus) {
+  // Affinity {1,2}, shield {2,3} → effective {1}.
+  EXPECT_EQ(effective_affinity(CpuMask(0b0110), CpuMask(0b1100)),
+            CpuMask(0b0010));
+}
+
+TEST(ShieldPolicy, NeverProducesEmptyMask) {
+  // Affinity exactly equal to shield → kept (subset rule).
+  EXPECT_EQ(effective_affinity(CpuMask(0b11), CpuMask(0b11)), CpuMask(0b11));
+}
+
+TEST(ShieldPolicy, OptedOntoShield) {
+  EXPECT_TRUE(opted_onto_shield(CpuMask(0b10), CpuMask(0b10)));
+  EXPECT_TRUE(opted_onto_shield(CpuMask(0b10), CpuMask(0b110)));
+  EXPECT_FALSE(opted_onto_shield(CpuMask(0b11), CpuMask(0b10)));
+  EXPECT_FALSE(opted_onto_shield(CpuMask(0b10), CpuMask::none()));
+}
+
+// Property sweep over (requested, shielded) pairs on a 4-CPU machine.
+class ShieldPolicySweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(ShieldPolicySweep, Invariants) {
+  const CpuMask requested(std::get<0>(GetParam()));
+  const CpuMask shielded(std::get<1>(GetParam()));
+  if (requested.empty()) return;  // precondition of the function
+  const CpuMask eff = effective_affinity(requested, shielded);
+
+  // 1. Never empty.
+  EXPECT_FALSE(eff.empty());
+  // 2. Always a subset of what was requested.
+  EXPECT_TRUE(eff.subset_of(requested));
+  // 3. If the request opted fully onto the shield, it is unchanged.
+  if (requested.subset_of(shielded)) {
+    EXPECT_EQ(eff, requested);
+  } else if (!(requested & ~shielded).empty()) {
+    // 4. Otherwise no shielded CPU survives.
+    EXPECT_FALSE(eff.intersects(shielded));
+  }
+  // 5. Idempotence: applying the shield twice changes nothing.
+  EXPECT_EQ(effective_affinity(eff, shielded), eff);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, ShieldPolicySweep,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 16),
+                       ::testing::Range<std::uint64_t>(0, 16)));

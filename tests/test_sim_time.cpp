@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+using namespace sim;
+using namespace sim::literals;
+
+TEST(Time, LiteralsScale) {
+  EXPECT_EQ(1_ns, 1u);
+  EXPECT_EQ(1_us, 1'000u);
+  EXPECT_EQ(1_ms, 1'000'000u);
+  EXPECT_EQ(1_s, 1'000'000'000u);
+  EXPECT_EQ(488_us + 281_ns, 488'281u);
+}
+
+TEST(Time, ConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(to_seconds(1_s), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(1500_us), 1.5);
+  EXPECT_DOUBLE_EQ(to_micros(2500_ns), 2.5);
+  EXPECT_EQ(from_seconds(1.15), 1'150'000'000u);
+  EXPECT_EQ(from_seconds(0.0), 0u);
+}
+
+TEST(Time, FromSecondsRounds) {
+  // 0.1 is not exactly representable; rounding must stay within 1 ns.
+  const Duration d = from_seconds(0.1);
+  EXPECT_NEAR(static_cast<double>(d), 1e8, 1.0);
+}
+
+TEST(Time, FormatPicksUnit) {
+  EXPECT_EQ(format_duration(27), "27 ns");
+  EXPECT_EQ(format_duration(11'300), "11.300 us");
+  EXPECT_EQ(format_duration(565'000), "565.000 us");
+  EXPECT_EQ(format_duration(92'300'000), "92.300 ms");
+  EXPECT_EQ(format_duration(1'150'000'000), "1.150 s");
+}
+
+TEST(Time, FormatBoundaries) {
+  EXPECT_EQ(format_duration(0), "0 ns");
+  EXPECT_EQ(format_duration(999), "999 ns");
+  EXPECT_EQ(format_duration(1000), "1.000 us");
+  EXPECT_EQ(format_duration(999'999), "999.999 us");
+  EXPECT_EQ(format_duration(1'000'000), "1.000 ms");
+}

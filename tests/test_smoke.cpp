@@ -1,0 +1,73 @@
+// End-to-end smoke tests: boot a platform, run load, measure latency.
+#include <gtest/gtest.h>
+
+#include "config/platform.h"
+#include "rt/rcim_test.h"
+#include "rt/realfeel_test.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+TEST(Smoke, BootIdleVanilla) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                     config::KernelConfig::vanilla_2_4_20(), 1);
+  p.boot();
+  p.run_for(1_s);
+  // Local timer ticked on both CPUs (HZ=100 → ~100 ticks/s).
+  EXPECT_GE(p.kernel().local_timer().tick_count(0), 90u);
+  EXPECT_GE(p.kernel().local_timer().tick_count(1), 90u);
+}
+
+TEST(Smoke, BootIdleRedHawk) {
+  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                     config::KernelConfig::redhawk_1_4(), 1);
+  p.boot();
+  p.run_for(1_s);
+  EXPECT_TRUE(p.has_rcim());
+  EXPECT_TRUE(p.has_shield());
+}
+
+TEST(Smoke, StressKernelRuns) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                     config::KernelConfig::vanilla_2_4_20(), 7);
+  workload::StressKernel{}.install(p);
+  p.boot();
+  p.run_for(5_s);
+  // The load actually exercised the kernel: syscalls happened on every
+  // workload task and softirq work was executed somewhere.
+  std::uint64_t syscalls = 0;
+  for (const auto& t : p.kernel().tasks()) syscalls += t->syscalls;
+  EXPECT_GT(syscalls, 1000u);
+}
+
+TEST(Smoke, RealfeelVanillaUnderLoad) {
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                     config::KernelConfig::vanilla_2_4_20(), 11);
+  workload::StressKernel{}.install(p);
+  rt::RealfeelTest::Params rp;
+  rp.samples = 20'000;
+  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+  p.boot();
+  test.start();
+  p.run_for(30_s);
+  EXPECT_TRUE(test.done()) << "collected " << test.collected();
+  EXPECT_GT(test.latencies().count(), 0u);
+}
+
+TEST(Smoke, RcimShieldedRedHawk) {
+  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                     config::KernelConfig::redhawk_1_4(), 13);
+  workload::StressKernel{}.install(p);
+  rt::RcimTest::Params rp;
+  rp.samples = 10'000;
+  rp.affinity = hw::CpuMask::single(1);
+  rt::RcimTest test(p.kernel(), p.rcim_driver(), rp);
+  p.boot();
+  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
+  test.start();
+  p.run_for(30_s);
+  EXPECT_TRUE(test.done()) << "collected " << test.collected();
+  // Shielded RCIM latency should be tens of microseconds, worst case.
+  EXPECT_LT(test.latencies().max(), 100_us)
+      << "max latency " << sim::format_duration(test.latencies().max());
+}

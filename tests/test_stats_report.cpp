@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include "kernel/stats_report.h"
+#include "kernel_test_util.h"
+#include "workload/stress_kernel.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+TEST(StatsReport, TaskTableListsAllTasks) {
+  auto p = vanilla_rig(141);
+  spawn_hog(p->kernel(), "alpha");
+  spawn_hog(p->kernel(), "beta", {}, kernel::SchedPolicy::kFifo, 42);
+  p->boot();
+  p->run_for(500_ms);
+  const std::string s = kernel::format_task_table(p->kernel());
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("ksoftirqd/0"), std::string::npos);
+  EXPECT_NE(s.find("FIFO"), std::string::npos);
+  EXPECT_NE(s.find("OTH"), std::string::npos);
+}
+
+TEST(StatsReport, CpuTableShowsActivity) {
+  auto p = vanilla_rig(142);
+  spawn_hog(p->kernel(), "hog", hw::CpuMask::single(0));
+  p->boot();
+  p->run_for(500_ms);
+  const std::string s = kernel::format_cpu_table(p->kernel());
+  EXPECT_NE(s.find("hog"), std::string::npos);     // current on CPU 0
+  EXPECT_NE(s.find("(idle)"), std::string::npos);  // CPU 1 idle
+}
+
+TEST(StatsReport, LockTableOnlyShowsUsedLocks) {
+  auto p = vanilla_rig(143);
+  p->boot();
+  p->run_for(100_ms);
+  const std::string quiet = kernel::format_lock_table(p->kernel());
+  EXPECT_EQ(quiet.find("rtc_lock"), std::string::npos);
+  workload::StressKernel{}.install(*p);
+  p->run_for(1_s);
+  const std::string busy = kernel::format_lock_table(p->kernel());
+  EXPECT_NE(busy.find("fs_lock"), std::string::npos);
+  EXPECT_NE(busy.find("socket_lock"), std::string::npos);
+}
+
+TEST(StatsReport, SystemReportCombinesSections) {
+  auto p = vanilla_rig(144);
+  p->boot();
+  p->run_for(100_ms);
+  const std::string s = kernel::format_system_report(p->kernel());
+  EXPECT_NE(s.find("== tasks =="), std::string::npos);
+  EXPECT_NE(s.find("== cpus =="), std::string::npos);
+  EXPECT_NE(s.find("== locks =="), std::string::npos);
+}

@@ -1,0 +1,15 @@
+// The umbrella header must compile standalone and expose the full API.
+#include "shieldsim.h"
+
+#include <gtest/gtest.h>
+
+TEST(Umbrella, EverythingReachable) {
+  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
+                     config::KernelConfig::redhawk_1_4(), 1);
+  workload::StressKernel{}.install(p);
+  rt::RcimTest test(p.kernel(), p.rcim_driver(), {});
+  p.boot();
+  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
+  p.run_for(sim::kMillisecond);
+  EXPECT_FALSE(kernel::format_system_report(p.kernel()).empty());
+}

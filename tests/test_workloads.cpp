@@ -1,0 +1,202 @@
+// Workload generators: each must install cleanly and produce its
+// characteristic kernel-visible activity.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+#include "workload/crashme.h"
+#include "workload/disk_noise.h"
+#include "workload/fifos_mmap.h"
+#include "workload/fs_stress.h"
+#include "workload/nfs_compile.h"
+#include "workload/p3_fpu.h"
+#include "workload/scp_copy.h"
+#include "workload/stress_kernel.h"
+#include "workload/ttcp.h"
+#include "workload/x11perf.h"
+
+using namespace testutil;
+using namespace sim::literals;
+
+namespace {
+
+std::uint64_t total_syscalls(kernel::Kernel& k) {
+  std::uint64_t n = 0;
+  for (const auto& t : k.tasks()) n += t->syscalls;
+  return n;
+}
+
+}  // namespace
+
+TEST(Workloads, ScpCopyGeneratesNicTrafficAndDiskWrites) {
+  auto p = vanilla_rig(91);
+  workload::ScpCopy{}.install(*p);
+  p->boot();
+  p->run_for(3_s);
+  EXPECT_GT(p->nic_device().total_rx_bytes(), 1'000'000u);  // ~10 MB/s stream
+  EXPECT_GT(p->disk_device().completed_requests(), 5u);
+  auto* recv = p->kernel().find_task("scp-recv");
+  ASSERT_NE(recv, nullptr);
+  EXPECT_GT(recv->utime, 100_ms);  // decryption CPU burn
+}
+
+TEST(Workloads, ScpCopyPausesBetweenFiles) {
+  auto p = vanilla_rig(92);
+  workload::ScpCopy::Params params;
+  params.file_bytes = 64'000;  // small file → frequent handshake gaps
+  workload::ScpCopy w(params);
+  w.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  // With 64 KB files at ~32 KB/3 ms plus a 60+ ms gap per file, the stream
+  // must be well below line rate.
+  EXPECT_LT(p->nic_device().total_rx_bytes(), 15'000'000u);
+  EXPECT_GT(p->nic_device().total_rx_bytes(), 500'000u);
+}
+
+TEST(Workloads, DiskNoiseHammersTheDisk) {
+  auto p = vanilla_rig(93);
+  workload::DiskNoise{}.install(*p);
+  p->boot();
+  p->run_for(3_s);
+  EXPECT_GT(p->disk_device().completed_requests(), 20u);
+  auto* t = p->kernel().find_task("disknoise");
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(t->syscalls, 50u);
+  // fs locks were exercised.
+  EXPECT_GT(p->kernel().lock(kernel::LockId::kFs).acquisitions(), 50u);
+}
+
+TEST(Workloads, NfsCompileDrivesRpcsAndServer) {
+  auto p = vanilla_rig(94);
+  workload::NfsCompile{}.install(*p);
+  p->boot();
+  p->run_for(5_s);
+  auto* cc1 = p->kernel().find_task("cc1");
+  auto* nfsd = p->kernel().find_task("nfsd");
+  ASSERT_NE(cc1, nullptr);
+  ASSERT_NE(nfsd, nullptr);
+  EXPECT_GT(cc1->syscalls, 20u);   // fork/exec + wait4 churn
+  EXPECT_GT(nfsd->syscalls, 10u);  // served RPCs
+  // Process churn happened: many gcc pids were created (and mostly
+  // reaped); a fresh task's pid reveals how many came before it.
+  auto& probe = testutil::spawn_hog(p->kernel(), "pid-probe");
+  EXPECT_GT(probe.pid, 20);
+  // Loopback RPCs raise net-rx softirq work somewhere.
+  std::uint64_t netrx = 0;
+  for (int c = 0; c < p->kernel().ncpus(); ++c) {
+    netrx += p->kernel().cpu(c).softirq.raise_count(kernel::SoftirqType::kNetRx);
+  }
+  EXPECT_GT(netrx, 10u);
+}
+
+TEST(Workloads, TtcpLoopbackMovesData) {
+  auto p = vanilla_rig(95);
+  workload::TtcpLoopback{}.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  auto* send = p->kernel().find_task("ttcp-lo-send");
+  auto* recv = p->kernel().find_task("ttcp-lo-recv");
+  ASSERT_NE(send, nullptr);
+  ASSERT_NE(recv, nullptr);
+  EXPECT_GT(send->syscalls, 100u);
+  EXPECT_GT(recv->syscalls, 100u);
+}
+
+TEST(Workloads, TtcpEthernetUsesTheWire) {
+  auto p = vanilla_rig(96);
+  workload::TtcpEthernet{}.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  EXPECT_GT(p->nic_device().total_rx_bytes(), 500'000u);
+  EXPECT_GT(p->nic_device().total_tx_bytes(), 100'000u);
+}
+
+TEST(Workloads, FifosMmapPingPongs) {
+  auto p = vanilla_rig(97);
+  workload::FifosMmap{}.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  auto* a = p->kernel().find_task("fifos-a");
+  auto* b = p->kernel().find_task("fifos-b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GT(a->syscalls, 100u);
+  EXPECT_GT(b->syscalls, 100u);
+  EXPECT_GT(p->kernel().lock(kernel::LockId::kPipe).acquisitions(), 100u);
+  EXPECT_GT(p->kernel().lock(kernel::LockId::kMm).acquisitions(), 5u);
+}
+
+TEST(Workloads, P3FpuBurnsCpuWithHighMemoryTraffic) {
+  auto p = vanilla_rig(98);
+  workload::P3Fpu{}.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  auto* t = p->kernel().find_task("p3-fpu");
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(t->utime, 1500_ms);  // nearly pure compute
+}
+
+TEST(Workloads, FsStressUsesHeavyBodies) {
+  auto p = vanilla_rig(99);
+  workload::FsStress{}.install(*p);
+  p->boot();
+  p->run_for(3_s);
+  auto* t = p->kernel().find_task("fs-stress0");
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(t->stime, 40_ms);  // big in-kernel bodies
+  EXPECT_GT(p->disk_device().completed_requests(), 10u);
+}
+
+TEST(Workloads, CrashmeFaultStorm) {
+  auto p = vanilla_rig(100);
+  workload::Crashme{}.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  auto* t = p->kernel().find_task("crashme");
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(t->syscalls, 100u);
+  EXPECT_GT(p->kernel().lock(kernel::LockId::kMm).acquisitions(), 100u);
+}
+
+TEST(Workloads, X11PerfDrivesGpu) {
+  auto p = vanilla_rig(101);
+  workload::X11Perf{}.install(*p);
+  p->boot();
+  p->run_for(2_s);
+  EXPECT_GT(p->gpu_device().total_batches(), 50u);
+  auto* x = p->kernel().find_task("Xorg");
+  ASSERT_NE(x, nullptr);
+  EXPECT_GT(x->syscalls, 50u);
+}
+
+TEST(Workloads, StressKernelInstallsAllComponents) {
+  auto p = vanilla_rig(102);
+  workload::StressKernel{}.install(*p);
+  p->boot();
+  p->run_for(1_s);
+  for (const char* name : {"cc1", "nfsd", "ttcp-lo-send", "ttcp-lo-recv",
+                           "fifos-a", "fifos-b", "p3-fpu", "fs-stress0",
+                           "fs-stress1", "crashme"}) {
+    EXPECT_NE(p->kernel().find_task(name), nullptr) << name;
+  }
+  EXPECT_GT(total_syscalls(p->kernel()), 500u);
+}
+
+TEST(Workloads, WorkloadSetComposes) {
+  auto p = vanilla_rig(103);
+  workload::WorkloadSet set;
+  set.add(std::make_unique<workload::ScpCopy>());
+  set.add(std::make_unique<workload::DiskNoise>());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.name(), "scp-copy+disknoise");
+  set.install(*p);
+  p->boot();
+  p->run_for(1_s);
+  EXPECT_NE(p->kernel().find_task("scp-recv"), nullptr);
+  EXPECT_NE(p->kernel().find_task("disknoise"), nullptr);
+}
+
+TEST(Workloads, EmptyWorkloadSetName) {
+  workload::WorkloadSet set;
+  EXPECT_EQ(set.name(), "(empty)");
+}
