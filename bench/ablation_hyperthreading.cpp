@@ -17,8 +17,13 @@ using namespace sim::literals;
 
 namespace {
 
-double jitter_percent(bool ht, double sibling_duty, int iterations,
-                      std::uint64_t seed) {
+struct JitterResult {
+  double percent = 0.0;
+  bool finished = true;
+};
+
+JitterResult jitter_percent(bool ht, double sibling_duty, int iterations,
+                            std::uint64_t seed) {
   config::Platform p(config::MachineConfig::dual_p4_xeon_1400(),
                      config::KernelConfig::vanilla_2_4_20(), seed, ht);
 
@@ -63,10 +68,11 @@ double jitter_percent(bool ht, double sibling_duty, int iterations,
 
   p.boot();
   p.run_for(dp.loop_work * static_cast<sim::Duration>(iterations) * 3 + 10_s);
-  if (!test.done()) std::printf("  (warning: run did not finish)\n");
-  return 100.0 *
-         static_cast<double>(test.max_observed() - test.ideal()) /
-         static_cast<double>(test.ideal());
+  return JitterResult{100.0 *
+                          static_cast<double>(test.max_observed() -
+                                              test.ideal()) /
+                          static_cast<double>(test.ideal()),
+                      test.done()};
 }
 
 }  // namespace
@@ -81,10 +87,21 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %16s %16s\n", "neighbour duty", "jitter (HT sibling)",
               "jitter (other core)");
   std::printf("  %s\n", std::string(58, '-').c_str());
-  for (const double duty : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    const double ht_jit = jitter_percent(true, duty, iterations, opt.seed);
-    const double core_jit = jitter_percent(false, duty, iterations, opt.seed);
-    std::printf("  %20.0f%% %15.2f%% %15.2f%%\n", duty * 100, ht_jit, core_jit);
+  const double duties[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  // One case per (duty, sibling-kind) pair, spread across all cores.
+  const auto rows = bench::SweepRunner{}.map<JitterResult>(
+      2 * std::size(duties), [&](std::size_t i) {
+        return jitter_percent(/*ht=*/i % 2 == 0, duties[i / 2], iterations,
+                              opt.seed);
+      });
+  for (std::size_t d = 0; d < std::size(duties); ++d) {
+    const JitterResult& ht_jit = rows[2 * d];
+    const JitterResult& core_jit = rows[2 * d + 1];
+    if (!ht_jit.finished || !core_jit.finished) {
+      std::printf("  (warning: run did not finish)\n");
+    }
+    std::printf("  %20.0f%% %15.2f%% %15.2f%%\n", duties[d] * 100,
+                ht_jit.percent, core_jit.percent);
   }
   std::printf(
       "\nExpected shape: jitter grows steeply with sibling duty when the\n"

@@ -125,10 +125,15 @@ int main(int argc, char** argv) {
 
   std::printf("  %-34s %14s\n", "kernel", "max latency");
   std::printf("  %s\n", std::string(50, '-').c_str());
-  std::uint64_t seed = opt.seed;
-  for (const auto& s : steps) {
-    const auto worst = realfeel_worst(s.cfg, s.shield, samples, seed++);
-    std::printf("  %-34s %14s\n", s.name, sim::format_duration(worst).c_str());
+  const bench::SweepRunner runner;
+  const auto worsts = runner.map<sim::Duration>(
+      std::size(steps), [&](std::size_t i) {
+        return realfeel_worst(steps[i].cfg, steps[i].shield, samples,
+                              opt.seed + i);
+      });
+  for (std::size_t i = 0; i < std::size(steps); ++i) {
+    std::printf("  %-34s %14s\n", steps[i].name,
+                sim::format_duration(worsts[i]).c_str());
   }
 
   bench::print_header(
@@ -139,10 +144,13 @@ int main(int argc, char** argv) {
   std::printf("  %-34s %10s %10s %12s\n", "generic ioctl layer", "min", "avg",
               "max");
   std::printf("  %s\n", std::string(70, '-').c_str());
-  for (const bool flag : {false, true}) {
-    const auto r = rcim_with_flag(flag, rcim_samples, opt.seed + 100);
+  const auto rcim_rows = runner.map<RcimResult>(2, [&](std::size_t i) {
+    return rcim_with_flag(i == 1, rcim_samples, opt.seed + 100);
+  });
+  for (std::size_t i = 0; i < rcim_rows.size(); ++i) {
+    const RcimResult& r = rcim_rows[i];
     std::printf("  %-34s %10s %10s %12s\n",
-                flag ? "driver flag honoured (no BKL)" : "BKL around ioctl",
+                i == 1 ? "driver flag honoured (no BKL)" : "BKL around ioctl",
                 sim::format_duration(r.min).c_str(),
                 sim::format_duration(r.avg).c_str(),
                 sim::format_duration(r.max).c_str());

@@ -67,11 +67,14 @@ int main(int argc, char** argv) {
       {"mlockall, scp+disknoise", true, true},
       {"pageable, scp+disknoise", false, true},
   };
-  std::uint64_t seed = opt.seed;
-  for (const auto& c : cases) {
-    const Row r = run_case(c.mlocked, c.loaded, iterations, seed++);
-    std::printf("  %-28s %9.3f%% %12llu\n", c.name, r.jitter_pct,
-                static_cast<unsigned long long>(r.faults));
+  const auto rows = bench::SweepRunner{}.map<Row>(
+      std::size(cases), [&](std::size_t i) {
+        return run_case(cases[i].mlocked, cases[i].loaded, iterations,
+                        opt.seed + i);
+      });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    std::printf("  %-28s %9.3f%% %12llu\n", cases[i].name, rows[i].jitter_pct,
+                static_cast<unsigned long long>(rows[i].faults));
   }
   std::printf(
       "\nExpected shape: the pageable rows fault continuously and carry\n"

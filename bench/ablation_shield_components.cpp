@@ -81,8 +81,10 @@ int main(int argc, char** argv) {
   std::printf("  %-32s %12s %12s %12s\n", "configuration", "max", "p99.9",
               "<0.1ms");
   std::printf("  %s\n", std::string(72, '-').c_str());
-  for (const auto& c : cases) {
-    const Row r = run_case(c, samples, opt.seed);
+  const auto rows = bench::SweepRunner{}.map<Row>(
+      std::size(cases),
+      [&](std::size_t i) { return run_case(cases[i], samples, opt.seed); });
+  for (const Row& r : rows) {
     std::printf("  %-32s %12s %12s %10.4f%%\n", r.name,
                 sim::format_duration(r.max).c_str(),
                 sim::format_duration(r.p999).c_str(), r.below_100us);

@@ -1,10 +1,15 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -45,6 +50,49 @@ struct Options {
     const auto s = static_cast<std::uint64_t>(static_cast<double>(n) * scale);
     return s == 0 ? 1 : s;
   }
+};
+
+/// Runs the independent cases of a config sweep across all hardware
+/// threads. Each case builds its own Platform (engine, kernel, devices,
+/// RNG streams) from its own seed, so workers share no mutable state and
+/// the per-case results are identical to a serial run; only wall-clock
+/// changes. Results come back in case order — print them serially after.
+class SweepRunner {
+ public:
+  explicit SweepRunner(unsigned workers = 0)
+      : workers_(workers != 0
+                     ? workers
+                     : std::max(1u, std::thread::hardware_concurrency())) {}
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Invoke `fn(i)` for every i in [0, n), spread over the workers, and
+  /// return the results in index order. `fn` must be self-contained: one
+  /// engine per case, no shared mutable state, no printing.
+  template <typename T, typename Fn>
+  std::vector<T> map(std::size_t n, Fn fn) const {
+    std::vector<T> results(n);
+    const auto workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers_, n));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+      return results;
+    }
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&results, &next, &fn, n] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        results[i] = fn(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (auto& t : pool) t.join();
+    return results;
+  }
+
+ private:
+  unsigned workers_;
 };
 
 inline void print_header(const std::string& title) {

@@ -72,10 +72,13 @@ int main(int argc, char** argv) {
       {"RedHawk 1.4, unshielded", config::KernelConfig::redhawk_1_4(), false},
       {"RedHawk 1.4, shielded CPU", config::KernelConfig::redhawk_1_4(), true},
   };
-  std::uint64_t seed = opt.seed;
-  for (const auto& c : cases) {
-    const Row r = run_case(c.cfg, c.shield, cycles, seed++);
-    std::printf("  %-38s %10s %10s %12s %10llu\n", c.name,
+  const auto rows = bench::SweepRunner{}.map<Row>(
+      std::size(cases), [&](std::size_t i) {
+        return run_case(cases[i].cfg, cases[i].shield, cycles, opt.seed + i);
+      });
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    const Row& r = rows[i];
+    std::printf("  %-38s %10s %10s %12s %10llu\n", cases[i].name,
                 sim::format_duration(r.min).c_str(),
                 sim::format_duration(r.avg).c_str(),
                 sim::format_duration(r.max).c_str(),

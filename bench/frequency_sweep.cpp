@@ -16,7 +16,14 @@ using namespace sim::literals;
 
 namespace {
 
-void run_rate(std::uint32_t hz, std::uint64_t samples, std::uint64_t seed) {
+struct Row {
+  sim::Duration min;
+  sim::Duration avg;
+  sim::Duration max;
+  std::uint64_t overruns;
+};
+
+Row run_rate(std::uint32_t hz, std::uint64_t samples, std::uint64_t seed) {
   config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
                      config::KernelConfig::redhawk_1_4(), seed);
   workload::StressKernel{}.install(p);
@@ -35,11 +42,8 @@ void run_rate(std::uint32_t hz, std::uint64_t samples, std::uint64_t seed) {
                               static_cast<double>(hz) * 2) +
             5_s);
 
-  std::printf("  %8u Hz %10s %10s %12s %10llu\n", hz,
-              sim::format_duration(test.latencies().min()).c_str(),
-              sim::format_duration(test.latencies().mean()).c_str(),
-              sim::format_duration(test.true_latencies().max()).c_str(),
-              static_cast<unsigned long long>(test.overruns()));
+  return Row{test.latencies().min(), test.latencies().mean(),
+             test.true_latencies().max(), test.overruns()};
 }
 
 }  // namespace
@@ -56,9 +60,18 @@ int main(int argc, char** argv) {
   std::printf("  %11s %10s %10s %12s %10s\n", "rate", "min", "avg", "max",
               "overruns");
   std::printf("  %s\n", std::string(58, '-').c_str());
-  std::uint64_t seed = opt.seed;
-  for (const std::uint32_t hz : {250u, 500u, 1000u, 2000u, 4000u, 8000u, 10000u}) {
-    run_rate(hz, samples, seed++);
+  const std::uint32_t rates[] = {250u,  500u,  1000u, 2000u,
+                                 4000u, 8000u, 10000u};
+  const auto rows = bench::SweepRunner{}.map<Row>(
+      std::size(rates), [&](std::size_t i) {
+        return run_rate(rates[i], samples, opt.seed + i);
+      });
+  for (std::size_t i = 0; i < std::size(rates); ++i) {
+    std::printf("  %8u Hz %10s %10s %12s %10llu\n", rates[i],
+                sim::format_duration(rows[i].min).c_str(),
+                sim::format_duration(rows[i].avg).c_str(),
+                sim::format_duration(rows[i].max).c_str(),
+                static_cast<unsigned long long>(rows[i].overruns));
   }
   std::printf(
       "\nExpected shape: latency is rate-independent (the fixed wake-path\n"

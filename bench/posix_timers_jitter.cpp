@@ -77,19 +77,24 @@ int main(int argc, char** argv) {
   std::printf("  %-12s %-22s %12s %12s %10s\n", "period", "kernel",
               "avg |error|", "max |error|", "wakeups");
   std::printf("  %s\n", std::string(74, '-').c_str());
-  std::uint64_t seed = opt.seed;
-  for (const sim::Duration period : {3_ms, 7_ms, 10_ms, 25_ms}) {
-    for (const bool hi_res : {false, true}) {
-      const auto& cfg = hi_res ? config::KernelConfig::redhawk_1_4()
-                               : config::KernelConfig::vanilla_2_4_20();
-      const Row r = run_case(cfg, period, run_time, seed++);
-      std::printf("  %-12s %-22s %12s %12s %10llu\n",
-                  sim::format_duration(period).c_str(),
-                  hi_res ? "RedHawk (high-res)" : "2.4.20 (jiffy wheel)",
-                  sim::format_duration(r.avg_err).c_str(),
-                  sim::format_duration(r.max_err).c_str(),
-                  static_cast<unsigned long long>(r.wakeups));
-    }
+  const sim::Duration periods[] = {3_ms, 7_ms, 10_ms, 25_ms};
+  // Case order (and so seed assignment) matches the old serial loop:
+  // per period, jiffy wheel first, then high-res.
+  const auto rows = bench::SweepRunner{}.map<Row>(
+      2 * std::size(periods), [&](std::size_t i) {
+        const bool hi_res = i % 2 == 1;
+        const auto& cfg = hi_res ? config::KernelConfig::redhawk_1_4()
+                                 : config::KernelConfig::vanilla_2_4_20();
+        return run_case(cfg, periods[i / 2], run_time, opt.seed + i);
+      });
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("  %-12s %-22s %12s %12s %10llu\n",
+                sim::format_duration(periods[i / 2]).c_str(),
+                i % 2 == 1 ? "RedHawk (high-res)" : "2.4.20 (jiffy wheel)",
+                sim::format_duration(r.avg_err).c_str(),
+                sim::format_duration(r.max_err).c_str(),
+                static_cast<unsigned long long>(r.wakeups));
   }
   std::printf(
       "\nExpected shape: the jiffy wheel turns every requested period into\n"

@@ -1,0 +1,108 @@
+// Allocation-free event callback.
+//
+// Every event on the calendar used to carry a `std::function<void()>`,
+// which heap-allocates for any capture beyond two pointers — one malloc and
+// one free per simulated event, dominating the schedule/pop hot path. The
+// model's callbacks are all tiny (a `this` pointer plus a cpu id, a request
+// descriptor, at most a params struct and a shared_ptr), so this type gives
+// them fixed inline storage and *no* heap fallback: a capture that outgrows
+// the buffer is a compile error, not a silent allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sim {
+
+/// Move-only `void()` callable with fixed inline storage.
+class Callback {
+ public:
+  /// Sized for the largest capture the model actually schedules (the ttcp
+  /// ethernet injector: two references + a params struct + a shared_ptr).
+  static constexpr std::size_t kInlineBytes = 64;
+
+  Callback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  Callback(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "event callback capture exceeds Callback::kInlineBytes; "
+                  "shrink the capture (capture pointers, not objects) or "
+                  "grow the inline buffer");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned event callback capture");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callbacks must be nothrow-movable (they live in "
+                  "relocatable calendar slots)");
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    // Most captures (pointers, references, ids) are trivially relocatable;
+    // a null relocate_ marks them so moves become a plain buffer copy with
+    // no indirect call — the calendar relocates every event at least twice.
+    if constexpr (!(std::is_trivially_copyable_v<Fn> &&
+                    std::is_trivially_destructible_v<Fn>)) {
+      relocate_ = [](void* src, void* dst) noexcept {
+        Fn* s = static_cast<Fn*>(src);
+        if (dst != nullptr) ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      };
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  /// Invoke. Requires an engaged callback (like std::function, calling an
+  /// empty one is a bug; unlike it, no throw — we crash in the invoke).
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroy the held callable (releasing its captures) and become empty.
+  void reset() {
+    if (relocate_ != nullptr) relocate_(storage_, nullptr);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+  }
+
+ private:
+  void move_from(Callback& other) noexcept {
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    if (relocate_ != nullptr) {
+      relocate_(other.storage_, storage_);
+    } else if (invoke_ != nullptr) {
+      // GCC cannot see that a null invoke_ (empty callback, storage never
+      // written) makes this copy unreachable and warns on the read.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+      std::memcpy(storage_, other.storage_, kInlineBytes);
+#pragma GCC diagnostic pop
+    }
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* src, void* dst) noexcept = nullptr;
+};
+
+}  // namespace sim

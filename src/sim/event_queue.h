@@ -1,37 +1,59 @@
 // The discrete-event calendar.
 //
-// A binary min-heap keyed by (time, sequence). The sequence number makes
-// ordering of same-timestamp events deterministic (FIFO in scheduling
-// order), which keeps whole experiments bit-reproducible.
+// A hierarchical timing wheel. Events live in a slab of generation-tagged
+// slots; the wheel indexes them by expiry:
 //
-// Cancellation is lazy: cancelled entries stay in the heap and are skipped
-// on pop. The simulator cancels frequently (every preemption cancels a
-// segment-completion event), so membership is tracked in a hash set rather
-// than by rebuilding the heap.
+//   * `ready_`  — the current level-0 bucket, sorted once on drain and
+//                 consumed front to back. The common case pops from here
+//                 with no heap traffic at all.
+//   * `near_`   — a small binary min-heap for events scheduled *into* the
+//                 imminent window after it was drained (at < horizon_).
+//                 Pops take the earlier (time, seq) of the two fronts.
+//   * 5 wheel levels × 64 buckets — level 0 buckets are 2^10 ns (~1 µs)
+//                 wide; each level up is 64× coarser, covering ~18 minutes
+//                 in total. A per-level occupancy bitmap finds the next
+//                 pending bucket in O(1).
+//   * `overflow_` — a min-heap for events beyond the wheel span.
+//
+// When the near heap drains, the earliest pending bucket is either moved
+// into it (level 0) or cascaded one level down; `horizon_` advances to the
+// end of the new window. Since every event outside `near_` has
+// `at >= horizon_` and every event inside has `at < horizon_`, wheel
+// rotation never reorders events: the (time, seq) order of pops — and with
+// it bit-reproducible runs, same-timestamp events firing in insertion
+// order — is preserved exactly as with the old binary heap.
+//
+// Cancellation is O(1): the EventId carries (slot, generation); cancel
+// marks the slot dead and drops its callback, and the tombstone is
+// reclaimed when the wheel meets it — or by a compaction sweep when
+// tombstones outnumber live events, so cancel-heavy runs stay bounded.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace sim {
 
-/// Opaque handle to a scheduled event; used to cancel it.
+/// Opaque handle to a scheduled event; used to cancel it. Encodes the slot
+/// index plus a generation tag, so a stale id (already fired or cancelled,
+/// slot since reused) can never cancel somebody else's event.
 struct EventId {
-  std::uint64_t seq = 0;  ///< 0 means "no event".
+  std::uint64_t raw = 0;  ///< 0 means "no event".
 
-  [[nodiscard]] bool valid() const { return seq != 0; }
+  [[nodiscard]] bool valid() const { return raw != 0; }
   friend bool operator==(EventId, EventId) = default;
 };
 
 /// Priority queue of timed callbacks.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   EventQueue() = default;
 
@@ -39,15 +61,15 @@ class EventQueue {
   /// insertion order.
   EventId schedule_at(Time at, Callback cb);
 
-  /// Remove a pending event. Cancelling an already-fired or already-
-  /// cancelled event is a harmless no-op (returns false).
+  /// Remove a pending event in O(1). Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op (returns false).
   bool cancel(EventId id);
 
   /// True if no live events remain.
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
 
   /// Number of live (non-cancelled, non-fired) events.
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Timestamp of the next live event. Requires !empty().
   [[nodiscard]] Time next_time();
@@ -55,25 +77,74 @@ class EventQueue {
   /// Pop and return the next live event. Requires !empty().
   std::pair<Time, Callback> pop();
 
+  /// Number of event slots ever allocated (live + tombstoned + free).
+  /// Exposed so tests can assert cancel-heavy runs stay memory-bounded.
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
+
  private:
-  struct Entry {
+  static constexpr int kGranularityBits = 10;  ///< level-0 bucket: 1024 ns
+  static constexpr int kBucketBits = 6;        ///< 64 buckets per level
+  static constexpr std::size_t kBuckets = std::size_t{1} << kBucketBits;
+  static constexpr int kLevels = 5;  ///< wheel span ~2^40 ns (~18 min)
+  static constexpr Time kWindow = Time{1} << kGranularityBits;
+  static constexpr std::uint64_t kBucketMask = kBuckets - 1;
+
+  static constexpr int level_shift(int level) {
+    return kGranularityBits + level * kBucketBits;
+  }
+
+  struct Slot {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 1;
+    bool live = false;
+    Callback cb;
+  };
+
+  /// Sort key mirrored out of the slot so heap ops touch 24 contiguous
+  /// bytes instead of whole slots.
+  struct Key {
     Time at;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
+  };
 
-    // std::push_heap builds a max-heap; invert the comparison for min-heap.
-    friend bool operator<(const Entry& a, const Entry& b) {
+  /// std::push_heap builds a max-heap; invert the comparison for min-heap.
+  struct KeyAfter {
+    bool operator()(const Key& a, const Key& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  /// Remove cancelled entries sitting at the top of the heap.
-  void drop_dead_prefix();
+  static bool key_before(const Key& a, const Key& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t index);
+  void place(Key k);
+  void drop_dead_near();
+  void refresh_near();
+  void advance_window();
+  void pull_overflow();
+  void maybe_compact();
+  void compact();
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<Key> ready_;       ///< drained bucket, sorted; served by index
+  std::size_t ready_head_ = 0;   ///< next unserved entry in ready_
+  std::vector<Key> near_;      ///< min-heap: events with at < horizon_
+  std::vector<Key> overflow_;  ///< min-heap: events beyond the wheel span
+  std::array<std::vector<std::uint32_t>, kLevels * kBuckets> buckets_;
+  std::array<std::uint64_t, kLevels> occupied_{};  ///< per-level bucket bitmap
+  std::vector<std::uint32_t> scratch_;  ///< reused cascade buffer
+  Time horizon_ = 0;  ///< events outside near_ all have at >= horizon_
   std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;  ///< tombstones not yet reclaimed
 };
 
 }  // namespace sim

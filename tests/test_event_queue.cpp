@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -92,6 +97,169 @@ TEST(EventQueue, NextTimeSkipsCancelledPrefix) {
   q.schedule_at(10, [] {});
   q.cancel(early);
   EXPECT_EQ(q.next_time(), 10u);
+}
+
+namespace {
+
+/// The pre-timing-wheel implementation — a binary (time, seq) min-heap with
+/// a lazy-cancellation set — kept here as the ordering oracle for the
+/// randomized cross-check below.
+class ReferenceQueue {
+ public:
+  std::uint64_t schedule_at(sim::Time at, int tag) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push_back(Entry{at, seq, tag});
+    std::push_heap(heap_.begin(), heap_.end());
+    pending_.insert(seq);
+    return seq;
+  }
+
+  bool cancel(std::uint64_t seq) { return pending_.erase(seq) > 0; }
+
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  sim::Time next_time() {
+    drop_dead_prefix();
+    return heap_.front().at;
+  }
+
+  std::pair<sim::Time, int> pop() {
+    drop_dead_prefix();
+    std::pop_heap(heap_.begin(), heap_.end());
+    const Entry e = heap_.back();
+    heap_.pop_back();
+    pending_.erase(e.seq);
+    return {e.at, e.tag};
+  }
+
+ private:
+  struct Entry {
+    sim::Time at;
+    std::uint64_t seq;
+    int tag;
+
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_prefix() {
+    while (!heap_.empty() && !pending_.contains(heap_.front().seq)) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace
+
+// Property test: on randomized schedule/cancel/pop sequences the timing
+// wheel pops exactly the events the reference heap pops, at the same times,
+// in the same order. Offsets mix every wheel path: the near window, all
+// levels, the overflow heap, and (via zero offsets) the at-horizon edge.
+TEST(EventQueue, MatchesReferenceHeapOnRandomizedOps) {
+  std::mt19937_64 rng(20030415);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue q;
+    ReferenceQueue ref;
+    struct LiveEvent {
+      EventId id;
+      std::uint64_t ref_seq;
+    };
+    std::vector<LiveEvent> live;
+    std::vector<int> popped;  // filled by wheel callbacks
+    sim::Time now = 0;
+    int next_tag = 0;
+
+    for (int op = 0; op < 20'000; ++op) {
+      const auto dice = rng() % 100;
+      if (dice < 55) {
+        // Schedule at now + an offset spanning from 0 ns to beyond the
+        // wheel's ~18-minute span, biased small like the simulator.
+        const int magnitude = static_cast<int>(rng() % 15);
+        const sim::Time offset = rng() % (sim::Time{1} << magnitude * 3);
+        const int tag = next_tag++;
+        const EventId id =
+            q.schedule_at(now + offset, [tag, &popped] { popped.push_back(tag); });
+        const std::uint64_t ref_seq = ref.schedule_at(now + offset, tag);
+        live.push_back(LiveEvent{id, ref_seq});
+      } else if (dice < 80 && !live.empty()) {
+        const std::size_t pick = rng() % live.size();
+        const LiveEvent victim = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        ASSERT_EQ(q.cancel(victim.id), ref.cancel(victim.ref_seq));
+      } else if (ref.size() > 0) {
+        ASSERT_EQ(q.size(), ref.size());
+        ASSERT_EQ(q.next_time(), ref.next_time());
+        auto [at, cb] = q.pop();
+        const auto [ref_at, ref_tag] = ref.pop();
+        ASSERT_EQ(at, ref_at);
+        cb();
+        ASSERT_FALSE(popped.empty());
+        ASSERT_EQ(popped.back(), ref_tag);
+        now = std::max(now, at);
+        // Fired events stay in `live` on purpose: a later "cancel" of one
+        // checks that both implementations agree it is a no-op.
+      }
+    }
+    // Drain: the remaining pop order must match exactly.
+    while (ref.size() > 0) {
+      ASSERT_EQ(q.size(), ref.size());
+      auto [at, cb] = q.pop();
+      const auto [ref_at, ref_tag] = ref.pop();
+      ASSERT_EQ(at, ref_at);
+      cb();
+      ASSERT_EQ(popped.back(), ref_tag);
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// Regression for the unbounded-growth bug: the old lazy-cancellation heap
+// only reclaimed cancelled entries when they surfaced at the heap top, so a
+// schedule+cancel loop against far-future times grew the heap without
+// bound. Compaction must keep slot memory proportional to peak live count.
+TEST(EventQueue, MillionCancelsStayMemoryBounded) {
+  EventQueue q;
+  sim::Time t = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const EventId id = q.schedule_at(t += 1000, [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.empty());
+  // Peak live count is 1; tombstones must be swept, not accumulated.
+  EXPECT_LT(q.slot_capacity(), 1024u);
+}
+
+TEST(EventQueue, CancelHeavyChurnWithLiveBacklogStaysBounded) {
+  EventQueue q;
+  std::vector<EventId> backlog;
+  sim::Time t = 0;
+  for (int i = 0; i < 10'000; ++i) backlog.push_back(q.schedule_at(t += 500, [] {}));
+  for (int i = 0; i < 200'000; ++i) {
+    const EventId id = q.schedule_at(t += 500, [] {});
+    ASSERT_TRUE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 10'000u);
+  EXPECT_LT(q.slot_capacity(), 64'000u);
+  for (const EventId id : backlog) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId first = q.schedule_at(10, [] {});
+  q.pop().second();  // fires; the slot is recycled
+  const EventId second = q.schedule_at(20, [] {});
+  EXPECT_FALSE(q.cancel(first));  // stale id must not hit the reused slot
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(second));
 }
 
 TEST(EventQueue, ManyInterleavedOpsStayConsistent) {

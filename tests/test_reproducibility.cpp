@@ -2,6 +2,8 @@
 // different seed must (almost surely) give different ones.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "kernel_test_util.h"
 #include "rt/realfeel_test.h"
 #include "workload/stress_kernel.h"
@@ -50,6 +52,31 @@ TEST(Reproducibility, DifferentSeedDifferentRun) {
   const auto b = run_once(2);
   // Event counts of two 30 s stress runs colliding would be astonishing.
   EXPECT_NE(a.events, b.events);
+}
+
+// The timing-wheel calendar must preserve the determinism contract end to
+// end: two runs with one seed agree on every event executed and on the
+// full shape of the figure metrics, not just the summary moments.
+TEST(Reproducibility, FigureMetricsBitIdenticalAcrossRuns) {
+  const auto run = [](std::uint64_t seed) {
+    config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                       config::KernelConfig::redhawk_1_4(), seed);
+    workload::StressKernel{}.install(p);
+    rt::RealfeelTest::Params rp;
+    rp.samples = 20'000;
+    rp.affinity = hw::CpuMask::single(1);
+    rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+    p.boot();
+    p.shield().shield_all(hw::CpuMask::single(1));
+    test.start();
+    p.run_for(30_s);
+    const auto& lat = test.latencies();
+    return std::tuple{p.engine().events_executed(), lat.count(), lat.min(),
+                      lat.max(),  lat.percentile(0.5), lat.percentile(0.999),
+                      lat.fraction_below(100 * sim::kMicrosecond)};
+  };
+  EXPECT_EQ(run(2003), run(2003));
+  EXPECT_NE(std::get<0>(run(2003)), std::get<0>(run(2004)));
 }
 
 TEST(Reproducibility, ShieldedRunsAreAlsoDeterministic) {

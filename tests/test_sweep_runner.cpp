@@ -1,0 +1,50 @@
+// bench::SweepRunner must return results in index order and produce the
+// same values as a serial loop — including on this repo's single-core CI,
+// where the default worker count degenerates to the serial path, so the
+// threaded path is forced explicitly here (and exercised under TSan-free
+// ASan builds via the asan preset).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "../bench/bench_util.h"
+#include "config/platform.h"
+#include "sim/time.h"
+#include "workload/stress_kernel.h"
+
+using namespace sim::literals;
+
+TEST(SweepRunner, ThreadedMapMatchesSerialAndPreservesIndexOrder) {
+  const auto square = [](std::size_t i) { return i * i; };
+  const bench::SweepRunner threaded(4);
+  ASSERT_EQ(threaded.workers(), 4u);
+  const auto got = threaded.map<std::size_t>(100, square);
+  ASSERT_EQ(got.size(), 100u);
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i * i);
+}
+
+TEST(SweepRunner, SingleWorkerFallbackMatches) {
+  const bench::SweepRunner serial(1);
+  const auto got =
+      serial.map<int>(7, [](std::size_t i) { return static_cast<int>(i) - 3; });
+  EXPECT_EQ(std::accumulate(got.begin(), got.end(), 0), -7 + 4 + 3);
+}
+
+// Parallel sweep cases each build a full Platform; results must not depend
+// on which worker ran which case.
+TEST(SweepRunner, PlatformPerCaseIsDeterministicAcrossWorkers) {
+  const auto run_case = [](std::size_t i) {
+    config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                       config::KernelConfig::vanilla_2_4_20(),
+                       2003 + static_cast<std::uint64_t>(i));
+    workload::StressKernel{}.install(p);
+    p.boot();
+    p.run_for(100_ms);
+    return p.engine().events_executed();
+  };
+  const auto parallel = bench::SweepRunner(4).map<std::uint64_t>(4, run_case);
+  const auto serial = bench::SweepRunner(1).map<std::uint64_t>(4, run_case);
+  EXPECT_EQ(parallel, serial);
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Track the microbenchmark trajectory across PRs.
+
+Runs ``bench/microbench`` with ``--benchmark_format=json`` and appends one
+entry (git revision, label, per-benchmark cpu time) to ``BENCH_micro.json``
+at the repo root. Run it once per PR so regressions in the simulator's hot
+paths show up as a trend, not a surprise:
+
+    tools/bench_trend.py --label "pr1 timing wheel"
+
+Compare the last two entries:
+
+    tools/bench_trend.py --compare
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from datetime import datetime, timezone
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BIN = os.path.join(REPO_ROOT, "build", "bench", "microbench")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_micro.json")
+
+
+def git_rev():
+    try:
+        return subprocess.check_output(
+            ["git", "-C", REPO_ROOT, "rev-parse", "--short", "HEAD"],
+            text=True).strip()
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return "unknown"
+
+
+def load_history(path):
+    if not os.path.exists(path):
+        return []
+    with open(path) as f:
+        return json.load(f)
+
+
+def run_bench(binary, bench_filter, min_time):
+    cmd = [binary, "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    if min_time:
+        cmd.append(f"--benchmark_min_time={min_time}")
+    raw = subprocess.check_output(cmd, text=True)
+    report = json.loads(raw)
+    benchmarks = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        benchmarks[b["name"]] = {
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+            "iterations": b["iterations"],
+        }
+    return report.get("context", {}), benchmarks
+
+
+def compare(history):
+    if len(history) < 2:
+        print("need at least two entries to compare")
+        return 1
+    prev, cur = history[-2], history[-1]
+    print(f"{prev['label'] or prev['git_rev']}  ->  "
+          f"{cur['label'] or cur['git_rev']}")
+    names = sorted(set(prev["benchmarks"]) & set(cur["benchmarks"]))
+    for name in names:
+        p = prev["benchmarks"][name]
+        c = cur["benchmarks"][name]
+        if p["time_unit"] != c["time_unit"]:
+            continue
+        speedup = p["cpu_time"] / c["cpu_time"] if c["cpu_time"] else 0.0
+        print(f"  {name:<55} {p['cpu_time']:>10.1f} -> {c['cpu_time']:>10.1f} "
+              f"{c['time_unit']}  ({speedup:.2f}x)")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin", default=DEFAULT_BIN,
+                    help="microbench binary (default: build/bench/microbench)")
+    ap.add_argument("--out", default=DEFAULT_OUT,
+                    help="history file (default: BENCH_micro.json)")
+    ap.add_argument("--label", default="", help="entry label, e.g. 'pr1'")
+    ap.add_argument("--filter", default="", help="--benchmark_filter regex")
+    ap.add_argument("--min-time", default="0.2",
+                    help="--benchmark_min_time seconds (default 0.2)")
+    ap.add_argument("--compare", action="store_true",
+                    help="diff the last two recorded entries and exit")
+    args = ap.parse_args()
+
+    history = load_history(args.out)
+    if args.compare:
+        return compare(history)
+
+    if not os.path.exists(args.bin):
+        print(f"error: {args.bin} not found — build first "
+              f"(cmake --preset default && cmake --build --preset default)",
+              file=sys.stderr)
+        return 1
+
+    context, benchmarks = run_bench(args.bin, args.filter, args.min_time)
+    history.append({
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": git_rev(),
+        "label": args.label,
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "build_type": context.get("library_build_type"),
+        },
+        "benchmarks": benchmarks,
+    })
+    with open(args.out, "w") as f:
+        json.dump(history, f, indent=2)
+        f.write("\n")
+    print(f"recorded {len(benchmarks)} benchmarks to {args.out} "
+          f"(entry #{len(history)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

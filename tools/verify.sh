@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verify flow: the plain build + tests, then the same tests under
+# ASan+UBSan so the calendar's slot reuse and the threaded bench
+# SweepRunner stay sanitizer-clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake --preset default
+cmake --build --preset default -j "${jobs}"
+ctest --preset default
+
+cmake --preset asan
+cmake --build --preset asan -j "${jobs}"
+ctest --preset asan
