@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +24,14 @@ struct Options {
   std::uint64_t seed = 2003;
   double scale = 1.0;  ///< multiplies sample counts / durations
   bool paper = false;
+  /// Enable the latency-chain tracer and print each case's worst-sample
+  /// decomposition after the regular figure output. Off by default: the
+  /// default output stays byte-identical with the tracer disabled.
+  bool trace = false;
+  /// Write the latency report (counters + worst chains) as JSON to this
+  /// path (a per-case suffix is appended by multi-case benches). Implies
+  /// --trace. Consumed by tools/trace_report.py.
+  std::string trace_json;
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -33,12 +43,21 @@ struct Options {
         o.seed = std::strtoull(argv[++i], nullptr, 10);
       } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
         o.scale = std::strtod(argv[++i], nullptr);
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        o.trace = true;
+      } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+        o.trace_json = argv[++i];
+        o.trace = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "usage: %s [--paper] [--seed N] [--scale X]\n"
-            "  --paper   run at ~10x the default sample counts\n"
-            "  --seed N  RNG seed (default 2003)\n"
-            "  --scale X multiply sample counts by X\n",
+            "usage: %s [--paper] [--seed N] [--scale X] [--trace]"
+            " [--trace-json FILE]\n"
+            "  --paper           run at ~10x the default sample counts\n"
+            "  --seed N          RNG seed (default 2003)\n"
+            "  --scale X         multiply sample counts by X\n"
+            "  --trace           decompose worst-case samples into kernel-path"
+            " segments\n"
+            "  --trace-json FILE also write the latency report as JSON\n",
             argv[0]);
         std::exit(0);
       }
@@ -68,7 +87,10 @@ class SweepRunner {
 
   /// Invoke `fn(i)` for every i in [0, n), spread over the workers, and
   /// return the results in index order. `fn` must be self-contained: one
-  /// engine per case, no shared mutable state, no printing.
+  /// engine per case, no shared mutable state, no printing. If a case
+  /// throws, the sweep stops claiming new cases and the first exception is
+  /// rethrown here after all workers have joined (an exception escaping a
+  /// plain thread would have called std::terminate).
   template <typename T, typename Fn>
   std::vector<T> map(std::size_t n, Fn fn) const {
     std::vector<T> results(n);
@@ -79,15 +101,27 @@ class SweepRunner {
       return results;
     }
     std::atomic<std::size_t> next{0};
-    const auto drain = [&results, &next, &fn, n] {
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    const auto drain = [&] {
       for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        results[i] = fn(i);
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          const std::scoped_lock hold(error_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     };
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain);
     for (auto& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
     return results;
   }
 

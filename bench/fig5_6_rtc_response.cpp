@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "config/platform.h"
+#include "kernel/trace_export.h"
 #include "metrics/report.h"
 #include "rt/realfeel_test.h"
 #include "workload/stress_kernel.h"
@@ -22,11 +23,14 @@ using namespace sim::literals;
 namespace {
 
 void run_case(const std::string& title, const config::KernelConfig& kcfg,
-              bool shield_cpu1, std::uint64_t samples, std::uint64_t seed) {
+              bool shield_cpu1, std::uint64_t samples,
+              const bench::Options& opt, std::uint64_t seed,
+              const std::string& tag) {
   bench::print_subheader(title);
 
   config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
   workload::StressKernel{}.install(p);
+  if (opt.trace) p.engine().chain_tracer().enable();
 
   rt::RealfeelTest::Params rp;
   rp.rate_hz = 2048;
@@ -55,6 +59,29 @@ void run_case(const std::string& title, const config::KernelConfig& kcfg,
                  .c_str(),
              stdout);
   std::fputs(metrics::ascii_histogram(test.latencies()).c_str(), stdout);
+
+  if (opt.trace) {
+    if (test.worst_chain()) {
+      std::printf("\nworst-sample decomposition:\n%s",
+                  test.worst_chain()->format().c_str());
+    } else {
+      std::printf("\nworst-sample decomposition: no chain captured\n");
+    }
+    if (!opt.trace_json.empty()) {
+      std::vector<kernel::NamedChain> chains;
+      if (test.worst_chain()) {
+        chains.push_back(kernel::NamedChain{title, *test.worst_chain()});
+      }
+      const std::string path = opt.trace_json + "." + tag + ".json";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        std::fputs(kernel::latency_report_json(p.kernel(), chains).c_str(), f);
+        std::fclose(f);
+        std::printf("latency report written to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -71,11 +98,11 @@ int main(int argc, char** argv) {
 
   run_case("Figure 5: kernel.org 2.4.20",
            config::KernelConfig::vanilla_2_4_20(),
-           /*shield_cpu1=*/false, samples, opt.seed);
+           /*shield_cpu1=*/false, samples, opt, opt.seed, "fig5");
 
   run_case("Figure 6: RedHawk 1.4, CPU 1 shielded (procs+irqs+ltmr)",
            config::KernelConfig::redhawk_1_4(),
-           /*shield_cpu1=*/true, samples, opt.seed + 1);
+           /*shield_cpu1=*/true, samples, opt, opt.seed + 1, "fig6");
 
   std::printf(
       "\nPaper reference: Fig5 max 92.3 ms (99.140%% < 0.1 ms); "

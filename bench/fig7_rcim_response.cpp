@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "config/platform.h"
+#include "kernel/trace_export.h"
 #include "metrics/report.h"
 #include "rt/rcim_test.h"
 #include "workload/stress_kernel.h"
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
                      config::KernelConfig::redhawk_1_4(), opt.seed);
   workload::StressKernel{}.install(p);
+  if (opt.trace) p.engine().chain_tracer().enable();
   workload::X11Perf{}.install(p);
   workload::TtcpEthernet{}.install(p);
 
@@ -64,6 +66,29 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
   std::fputs(metrics::ascii_histogram(test.latencies()).c_str(), stdout);
+
+  if (opt.trace) {
+    if (test.worst_chain()) {
+      std::printf("\nworst-sample decomposition:\n%s",
+                  test.worst_chain()->format().c_str());
+    } else {
+      std::printf("\nworst-sample decomposition: no chain captured\n");
+    }
+    if (!opt.trace_json.empty()) {
+      std::vector<kernel::NamedChain> chains;
+      if (test.worst_chain()) {
+        chains.push_back(
+            kernel::NamedChain{"Figure 7: RCIM shielded", *test.worst_chain()});
+      }
+      if (std::FILE* f = std::fopen(opt.trace_json.c_str(), "w")) {
+        std::fputs(kernel::latency_report_json(p.kernel(), chains).c_str(), f);
+        std::fclose(f);
+        std::printf("latency report written to %s\n", opt.trace_json.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", opt.trace_json.c_str());
+      }
+    }
+  }
 
   std::printf(
       "\nPaper reference: min 11 us / avg 11.3 us / max 27 us; "

@@ -1,5 +1,7 @@
 #include "hw/interrupt_controller.h"
 
+#include <string>
+
 #include "sim/assert.h"
 
 namespace hw {
@@ -58,9 +60,24 @@ void InterruptController::raise(Irq irq) {
   raises_[static_cast<std::size_t>(irq)]++;
   const CpuId target = route(irq);
   deliveries_[static_cast<std::size_t>(irq)][static_cast<std::size_t>(target)]++;
+  sim::ChainTracer& tracer = engine_.chain_tracer();
+  if (tracer.enabled()) {
+    // One chain per line: a re-raise before the kernel entered the previous
+    // hardirq supersedes it (the line is edge-triggered in this model).
+    sim::ChainId& pending = chains_[static_cast<std::size_t>(irq)];
+    tracer.abandon(pending);
+    pending = tracer.open("irq" + std::to_string(irq), engine_.now());
+  }
   // APIC message + pin-to-vector latency: a few hundred nanoseconds.
   const sim::Duration wire = rng_.uniform_duration(200_ns, 600_ns);
   engine_.schedule(wire, [this, target, irq] { deliver_(target, irq); });
+}
+
+sim::ChainId InterruptController::take_chain(Irq irq) {
+  SIM_ASSERT(irq >= 0 && irq < kMaxIrq);
+  const sim::ChainId id = chains_[static_cast<std::size_t>(irq)];
+  chains_[static_cast<std::size_t>(irq)] = {};
+  return id;
 }
 
 std::uint64_t InterruptController::raise_count(Irq irq) const {

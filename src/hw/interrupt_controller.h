@@ -42,6 +42,12 @@ class InterruptController {
   /// Device edge: route and deliver after the wire delay.
   void raise(Irq irq);
 
+  /// Detach the latency chain opened by the most recent raise of this line
+  /// (invalid id when chain tracing is off or the chain was already taken).
+  /// The kernel calls this at hardirq entry so the chain's first segment
+  /// covers wire delay plus any time the line sat masked.
+  sim::ChainId take_chain(Irq irq);
+
   /// Total raises per line (for accounting like /proc/interrupts).
   [[nodiscard]] std::uint64_t raise_count(Irq irq) const;
   /// Deliveries per (line, cpu).
@@ -60,6 +66,7 @@ class InterruptController {
   bool prefer_idle_ = false;
   std::array<CpuMask, kMaxIrq> affinity_{};
   std::array<CpuId, kMaxIrq> last_target_{};
+  std::array<sim::ChainId, kMaxIrq> chains_{};  ///< pending latency chains
   std::array<std::uint64_t, kMaxIrq> raises_{};
   std::array<std::array<std::uint64_t, 64>, kMaxIrq> deliveries_{};
 };

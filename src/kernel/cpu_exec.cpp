@@ -227,6 +227,15 @@ void Kernel::finish_switch(hw::CpuId cpu) {
     next->freshly_woken = false;
     auditor_.task_scheduled_in(next->last_wake, engine_.now(), next->is_rt());
   }
+  if (next->chain.valid()) {
+    // Attribute the gap since the wakeup: waiting on the runqueue until the
+    // switch began (cs.seg_start), then the switch cost itself.
+    sim::ChainTracer& tracer = engine_.chain_tracer();
+    tracer.mark(next->chain, sim::SegmentKind::kRunqueueWait, cpu,
+                cs.seg_start);
+    tracer.mark(next->chain, sim::SegmentKind::kContextSwitch, cpu,
+                engine_.now());
+  }
   trace(sim::TraceCategory::kSched, cpu, "switch to " + next->name);
 
   unmask_irqs(cpu);
@@ -357,6 +366,15 @@ void Kernel::begin_hardirq(hw::CpuId cpu, int vector) {
   }
 
   cs.irq_frames.push_back(IrqFrame{IrqFrame::Kind::kHardirq, vector, cost, 0.4});
+  if (vector >= 0) {
+    // Pick up the latency chain the controller opened at raise time; the
+    // first segment covers the wire delay plus any time the line sat
+    // pending while this CPU had interrupts masked.
+    IrqFrame& fr = cs.irq_frames.back();
+    fr.chain = ic_.take_chain(vector);
+    engine_.chain_tracer().mark(fr.chain, sim::SegmentKind::kIrqRaise, cpu,
+                                engine_.now());
+  }
   mask_irqs(cpu);
   start_segment(cpu);
 }
@@ -371,7 +389,15 @@ void Kernel::finish_irq_frame(hw::CpuId cpu) {
     if (frame.vector >= 0) {
       const IrqHandler& h =
           irq_handlers_[static_cast<std::size_t>(frame.vector)];
+      // Open the wakeup-attribution window: the first task these effects
+      // make runnable inherits the frame's latency chain (make_runnable
+      // consumes wake_chain_). A handler that wakes nobody abandons it.
+      wake_chain_ = frame.chain;
+      wake_chain_kind_ = sim::SegmentKind::kIrqHandler;
+      wake_chain_cpu_ = cpu;
       if (h.effects) h.effects(*this, cpu);
+      engine_.chain_tracer().abandon(wake_chain_);
+      wake_chain_ = {};
     } else if (frame.vector == kVectorLocalTimer) {
       if (cs.current != nullptr) {
         Task& cur = *cs.current;
@@ -629,6 +655,10 @@ void Kernel::next_action(hw::CpuId cpu) {
   }
   SIM_ASSERT(std::get_if<ExitAction>(&action) != nullptr);
   t.state = TaskState::kExited;
+  if (t.chain.valid()) {
+    engine_.chain_tracer().abandon(t.chain);
+    t.chain = {};
+  }
   cs.current = nullptr;
   trace(sim::TraceCategory::kSched, cpu, t.name + " exited");
   begin_switch(cpu);
@@ -667,6 +697,7 @@ bool Kernel::acquire_lock(hw::CpuId cpu, Task& t, LockId id, bool bkl_reacquire)
     // preemptible).
     preempt_count_inc(t);
     if (id == LockId::kBkl) t.bkl_depth = 1;
+    l.note_acquired(engine_.now());
     return true;
   }
 
@@ -674,6 +705,11 @@ bool Kernel::acquire_lock(hw::CpuId cpu, Task& t, LockId id, bool bkl_reacquire)
   l.add_waiter(t);
   t.frames.push_back(TaskFrame{TaskFrame::Kind::kSpinWait, 0, kSpinTraffic, id,
                                bkl_reacquire});
+  t.spin_started_at = engine_.now();
+  // Work done since the last chain mark was normal kernel-exit progress;
+  // everything from here until the grant is spin time.
+  engine_.chain_tracer().mark(t.chain, sim::SegmentKind::kKernelExit, cpu,
+                              engine_.now());
   mem_.set_traffic(cpu, kSpinTraffic);
   trace(sim::TraceCategory::kLock, cpu,
         t.name + " spins on " + to_string(id));
@@ -687,7 +723,11 @@ void Kernel::release_lock(hw::CpuId cpu, Task& t, LockId id) {
 
   SIM_ASSERT(t.preempt_count > 0);
   preempt_count_dec(t);
-  if (id == LockId::kBkl) t.bkl_depth = 0;
+  if (id == LockId::kBkl) {
+    t.bkl_depth = 0;
+    cs.bkl_hold_time += engine_.now() - l.acquired_at();
+  }
+  l.note_released(engine_.now());
 
   Task* granted = l.release_and_grant();
 
@@ -707,6 +747,12 @@ void Kernel::release_lock(hw::CpuId cpu, Task& t, LockId id) {
     granted->frames.pop_back();
     preempt_count_inc(*granted);
     if (id == LockId::kBkl) granted->bkl_depth = 1;
+    l.note_acquired(engine_.now());
+    const sim::Duration waited = engine_.now() - granted->spin_started_at;
+    cpu_mut(gcpu).spin_wait_time += waited;
+    l.add_wait_time(waited);
+    engine_.chain_tracer().mark(granted->chain, sim::SegmentKind::kSpinWait,
+                                gcpu, engine_.now(), to_string(id));
     if (reacquire) {
       granted->needs_bkl_reacquire = false;
     } else {

@@ -339,6 +339,16 @@ void Kernel::make_runnable(Task& t) {
   t.last_wake = engine_.now();
   t.freshly_woken = true;
   auditor_.task_woken(engine_.now());
+  if (wake_chain_.valid()) {
+    // First task woken inside the attribution window inherits the latency
+    // chain: the segment up to now is the waker's context (irq handler or
+    // timer expiry); what follows is this task's runqueue wait.
+    sim::ChainTracer& tracer = engine_.chain_tracer();
+    tracer.mark(wake_chain_, wake_chain_kind_, wake_chain_cpu_, engine_.now());
+    if (t.chain.valid()) tracer.abandon(t.chain);
+    t.chain = wake_chain_;
+    wake_chain_ = {};
+  }
   hw::CpuId target = sched_->select_cpu(
       t, t.effective_affinity, [this](hw::CpuId c) { return cpu_idle(c); });
   if (t.is_rt() && !cpu_idle(target)) {
@@ -368,6 +378,14 @@ void Kernel::make_runnable(Task& t) {
   SIM_ASSERT(t.effective_affinity.test(target));
   sched_->enqueue(t, target);
   check_preempt(target, t);
+}
+
+std::optional<sim::LatencyChain> Kernel::finish_latency_chain(Task& t) {
+  if (!t.chain.valid()) return std::nullopt;
+  auto out = engine_.chain_tracer().close(t.chain, sim::SegmentKind::kKernelExit,
+                                          t.cpu, engine_.now());
+  t.chain = {};
+  return out;
 }
 
 // ---- kernel timers ------------------------------------------------------------------
@@ -406,9 +424,19 @@ void Kernel::timer_fire(TimerId id) {
   // small amount of work where the expiry ran (CPU 0: the 2.4 wheel was
   // driven from the boot CPU's tick).
   cpu_mut(0).softirq.raise(SoftirqType::kTimer, 2 * sim::kMicrosecond);
+  sim::ChainTracer& tracer = engine_.chain_tracer();
+  if (tracer.enabled()) {
+    // Timer-driven wakeups (cyclictest) originate here rather than at a
+    // device edge; the expiry runs off the boot CPU's tick (see above).
+    wake_chain_ = tracer.open("ktimer", engine_.now());
+    wake_chain_kind_ = sim::SegmentKind::kTimerExpiry;
+    wake_chain_cpu_ = 0;
+  }
   // NOTE: waking may run behaviors that arm new timers, reallocating
   // timers_ — never hold a reference across this call.
   wake_up_all(timers_[idx].wq);
+  tracer.abandon(wake_chain_);
+  wake_chain_ = {};
   if (!timers_[idx].armed) return;  // a woken task may have cancelled us
   const sim::Time ideal_next = engine_.now() + timers_[idx].period;
   const sim::Time at =
@@ -524,6 +552,39 @@ void Kernel::register_proc_files() {
         out += std::to_string(ic_.delivery_count(irq, c)) + "  ";
       }
       out += "\n";
+    }
+    return out;
+  });
+  // Per-CPU latency counters (the tracing subsystem's always-on half):
+  // where each CPU's response-time budget went, in ns.
+  for (hw::CpuId c = 0; c < topo_.logical_cpus(); ++c) {
+    procfs_.register_file(
+        "/proc/latency/cpu" + std::to_string(c), [this, c] {
+          const CpuState& cs = cpu(c);
+          std::string out;
+          out += "spin_wait_ns " + std::to_string(cs.spin_wait_time) + "\n";
+          out += "bkl_hold_ns " + std::to_string(cs.bkl_hold_time) + "\n";
+          out += "irq_ns " + std::to_string(cs.irq_time) + "\n";
+          out += "softirq_ns " + std::to_string(cs.softirq_time) + "\n";
+          out += "irq_off_max_ns " +
+                 std::to_string(auditor_.irq_off(c).max()) + "\n";
+          out += "preempt_off_max_ns " +
+                 std::to_string(auditor_.preempt_off(c).max()) + "\n";
+          return out;
+        });
+  }
+  procfs_.register_file("/proc/latency/locks", [this] {
+    std::string out =
+        "lock        acquisitions contentions      wait_ns      hold_ns\n";
+    for (std::size_t i = 0; i < locks_.size(); ++i) {
+      const SpinLock& l = locks_[i];
+      if (l.acquisitions() == 0) continue;
+      std::string name = to_string(static_cast<LockId>(i));
+      name.resize(12, ' ');
+      out += name + std::to_string(l.acquisitions()) + " " +
+             std::to_string(l.contentions()) + " " +
+             std::to_string(l.total_wait()) + " " +
+             std::to_string(l.total_hold()) + "\n";
     }
     return out;
   });

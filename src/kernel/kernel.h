@@ -22,6 +22,7 @@
 #include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,7 @@ struct IrqFrame {
   int vector = 0;  ///< IRQ number or pseudo vector
   sim::Duration remaining = 0;
   double memory_intensity = 0.4;
+  sim::ChainId chain{};  ///< latency chain taken from the controller
 };
 
 /// Per-CPU kernel state.
@@ -96,6 +98,8 @@ struct CpuState {
   sim::Duration softirq_time = 0;
   std::uint64_t switches = 0;
   std::uint64_t hardirqs = 0;
+  sim::Duration spin_wait_time = 0;  ///< time tasks on this CPU spun on locks
+  sim::Duration bkl_hold_time = 0;   ///< time the BKL was held from this CPU
 
   [[nodiscard]] bool irqs_enabled() const { return irq_off_depth == 0; }
 };
@@ -258,6 +262,13 @@ class Kernel {
   [[nodiscard]] sim::Duration round_sleep(sim::Duration requested) const;
   Scheduler& scheduler() { return *sched_; }
 
+  /// Close the latency chain riding on `t` (attached by the wakeup that made
+  /// it runnable) at the current time, stamping the trailing in-kernel work
+  /// as kernel-exit. Returns the completed chain, or nullopt when chain
+  /// tracing is off / no chain was attached. rt tests call this from their
+  /// behaviors at each sample's observation point.
+  std::optional<sim::LatencyChain> finish_latency_chain(Task& t);
+
  private:
   void spawn_ksoftirqd(hw::CpuId cpu);
   void register_proc_files();
@@ -281,6 +292,13 @@ class Kernel {
   LatencyAuditor auditor_;
   Pid next_pid_ = 1;
   bool started_ = false;
+
+  /// Wakeup-attribution window: set around irq-handler effects and timer
+  /// expiry processing so make_runnable can hand the in-flight latency
+  /// chain to the first task the wakeup makes runnable.
+  sim::ChainId wake_chain_{};
+  sim::SegmentKind wake_chain_kind_ = sim::SegmentKind::kIrqHandler;
+  hw::CpuId wake_chain_cpu_ = -1;
 
   struct KernelTimer {
     WaitQueueId wq = kNoWaitQueue;

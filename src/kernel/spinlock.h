@@ -60,6 +60,15 @@ class SpinLock {
   [[nodiscard]] std::uint64_t acquisitions() const { return acquisitions_; }
   [[nodiscard]] std::uint64_t contentions() const { return contentions_; }
 
+  // -- wait/hold time accounting (stamped by the kernel; the lock itself is
+  // time-agnostic). Feeds /proc/latency/locks and the JSON trace export. --
+  void note_acquired(sim::Time now) { acquired_at_ = now; }
+  void note_released(sim::Time now) { total_hold_ += now - acquired_at_; }
+  void add_wait_time(sim::Duration d) { total_wait_ += d; }
+  [[nodiscard]] sim::Time acquired_at() const { return acquired_at_; }
+  [[nodiscard]] sim::Duration total_hold() const { return total_hold_; }
+  [[nodiscard]] sim::Duration total_wait() const { return total_wait_; }
+
  private:
   LockId id_ = LockId::kCount;
   bool irq_safe_ = false;
@@ -67,6 +76,9 @@ class SpinLock {
   std::deque<Task*> waiters_;
   std::uint64_t acquisitions_ = 0;
   std::uint64_t contentions_ = 0;
+  sim::Time acquired_at_ = 0;
+  sim::Duration total_hold_ = 0;
+  sim::Duration total_wait_ = 0;
 };
 
 }  // namespace kernel

@@ -10,6 +10,7 @@
 #include "hw/types.h"
 #include "kernel/kernel_ops.h"
 #include "sim/time.h"
+#include "sim/trace.h"
 
 namespace kernel {
 
@@ -129,6 +130,12 @@ struct Task {
   sim::Duration utime = 0;   ///< user time (precise, from segment accounting)
   sim::Duration stime = 0;   ///< system time
   sim::Time last_wake = 0;   ///< when last made runnable
+  sim::Time spin_started_at = 0;  ///< when the current spin-wait began
+
+  /// Latency chain riding on this task: attached by the wakeup that made it
+  /// runnable, closed (or superseded) when the task reaches its observation
+  /// point. Invalid when chain tracing is off.
+  sim::ChainId chain{};
 
   /// Static priority for preemption decisions: FIFO/RR beat OTHER; higher
   /// rt_priority beats lower; among OTHER, lower nice is higher.

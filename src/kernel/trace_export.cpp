@@ -1,0 +1,96 @@
+#include "kernel/trace_export.h"
+
+#include <sstream>
+
+#include "kernel/kernel.h"
+
+namespace kernel {
+
+namespace {
+
+// All strings in the report are model-generated identifiers (lock names,
+// "irq8", task names); escape the JSON specials anyway so a hostile label
+// cannot break the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void append_chain(std::ostringstream& os, const sim::LatencyChain& c) {
+  os << "{\"origin\":\"" << json_escape(c.origin) << "\",\"start_ns\":"
+     << c.start << ",\"end_ns\":" << c.end << ",\"total_ns\":" << c.total()
+     << ",\"segments\":[";
+  for (std::size_t i = 0; i < c.segments.size(); ++i) {
+    const sim::ChainSegment& s = c.segments[i];
+    if (i != 0) os << ",";
+    os << "{\"kind\":\"" << to_string(s.kind) << "\",\"cpu\":" << s.cpu
+       << ",\"begin_ns\":" << s.begin << ",\"end_ns\":" << s.end
+       << ",\"span_ns\":" << s.span();
+    if (!s.detail.empty()) os << ",\"detail\":\"" << json_escape(s.detail) << "\"";
+    os << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string latency_report_json(Kernel& k,
+                                const std::vector<NamedChain>& chains) {
+  std::ostringstream os;
+  os << "{\"sim_time_ns\":" << k.now() << ",\"cpus\":[";
+  for (int c = 0; c < k.ncpus(); ++c) {
+    const CpuState& cs = k.cpu(c);
+    if (c != 0) os << ",";
+    os << "{\"cpu\":" << c << ",\"spin_wait_ns\":" << cs.spin_wait_time
+       << ",\"bkl_hold_ns\":" << cs.bkl_hold_time
+       << ",\"irq_ns\":" << cs.irq_time
+       << ",\"softirq_ns\":" << cs.softirq_time
+       << ",\"hardirqs\":" << cs.hardirqs
+       << ",\"switches\":" << cs.switches
+       << ",\"irq_off_max_ns\":" << k.auditor().irq_off(c).max()
+       << ",\"preempt_off_max_ns\":" << k.auditor().preempt_off(c).max()
+       << "}";
+  }
+  os << "],\"locks\":[";
+  bool first = true;
+  for (int i = 0; i < static_cast<int>(LockId::kCount); ++i) {
+    const SpinLock& l = k.lock(static_cast<LockId>(i));
+    if (l.acquisitions() == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"lock\":\"" << to_string(static_cast<LockId>(i))
+       << "\",\"acquisitions\":" << l.acquisitions()
+       << ",\"contentions\":" << l.contentions()
+       << ",\"wait_ns\":" << l.total_wait()
+       << ",\"hold_ns\":" << l.total_hold() << "}";
+  }
+  const sim::ChainTracer& tracer = k.engine().chain_tracer();
+  os << "],\"tracer\":{\"compiled_in\":"
+     << (sim::ChainTracer::compiled_in() ? "true" : "false")
+     << ",\"enabled\":" << (tracer.enabled() ? "true" : "false")
+     << ",\"opened\":" << tracer.opened()
+     << ",\"completed\":" << tracer.completed()
+     << ",\"abandoned\":" << tracer.abandoned()
+     << ",\"dropped\":" << tracer.dropped() << "}";
+  os << ",\"chains\":[";
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "{\"label\":\"" << json_escape(chains[i].label) << "\",\"chain\":";
+    append_chain(os, chains[i].chain);
+    os << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace kernel

@@ -1,6 +1,8 @@
 #include "metrics/histogram.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "sim/assert.h"
 
@@ -13,8 +15,9 @@ int LatencyHistogram::bucket_index(sim::Duration v) {
   const auto sub = static_cast<int>((v >> shift) - kSubBuckets);
   const int octave = msb - 4;
   const int index = octave * kSubBuckets + sub;
-  SIM_ASSERT(index < kBucketCount);
-  return index;
+  // Durations beyond the table's ~2^49 ns (~6.5 day) range clamp into the
+  // last bucket instead of walking off the array.
+  return index < kBucketCount ? index : kBucketCount - 1;
 }
 
 sim::Duration LatencyHistogram::bucket_lower_bound(int index) {
@@ -25,36 +28,37 @@ sim::Duration LatencyHistogram::bucket_lower_bound(int index) {
   return static_cast<sim::Duration>(kSubBuckets + sub) << (octave - 1);
 }
 
+sim::Duration LatencyHistogram::bucket_width(int index) {
+  SIM_ASSERT(index >= 0 && index < kBucketCount);
+  if (index < kSubBuckets) return 1;
+  return sim::Duration{1} << (index / kSubBuckets - 1);
+}
+
 void LatencyHistogram::add(sim::Duration latency) {
   buckets_[static_cast<std::size_t>(bucket_index(latency))]++;
   summary_.add_duration(latency);
 }
 
 std::uint64_t LatencyHistogram::count_below(sim::Duration threshold) const {
-  if (threshold == 0) return 0;
-  // All buckets wholly below the threshold, plus nothing partial: the
-  // boundary bucket may contain samples on either side, so we count buckets
-  // whose *upper* bound is <= threshold and then conservatively include the
-  // boundary bucket's samples only if its lower bound is below threshold and
-  // the threshold is >= its upper bound. For reporting at paper-style round
-  // thresholds (0.1 ms, 1 ms, ...) bucket resolution (~3%) makes the
-  // distinction negligible; we attribute the boundary bucket proportionally.
-  const int limit = bucket_index(threshold - 1);
+  if (threshold == 0 || count() == 0) return 0;
+  if (threshold > max()) return count();
+  // Buckets wholly below the threshold count exactly; the bucket containing
+  // the threshold is attributed proportionally. A threshold at a bucket's
+  // lower bound therefore counts exactly the buckets before it — bucket
+  // resolution (~3%) only blurs thresholds strictly inside a bucket, which
+  // at paper-style round thresholds (0.1 ms, 1 ms, ...) is negligible.
+  const int b = bucket_index(threshold);
   std::uint64_t n = 0;
-  for (int i = 0; i < limit; ++i) n += buckets_[static_cast<std::size_t>(i)];
-  // Boundary bucket: include it fully if the threshold is at/above the next
-  // bucket's lower bound (i.e. the whole bucket is below the threshold).
-  const sim::Duration next_lo =
-      limit + 1 < kBucketCount ? bucket_lower_bound(limit + 1) : ~sim::Duration{0};
-  if (threshold >= next_lo) {
-    n += buckets_[static_cast<std::size_t>(limit)];
-  } else {
-    // Proportional attribution within the boundary bucket.
-    const sim::Duration lo = bucket_lower_bound(limit);
-    const double width = static_cast<double>(next_lo - lo);
-    const double frac = width <= 0 ? 1.0 : static_cast<double>(threshold - lo) / width;
-    n += static_cast<std::uint64_t>(
-        frac * static_cast<double>(buckets_[static_cast<std::size_t>(limit)]) + 0.5);
+  for (int i = 0; i < b; ++i) n += buckets_[static_cast<std::size_t>(i)];
+  const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+  const sim::Duration lo = bucket_lower_bound(b);
+  if (in_bucket != 0 && threshold > lo) {
+    // min(1, ...): with the threshold inside the (clamped) last bucket it
+    // can exceed the bucket's nominal upper bound.
+    const double frac =
+        std::min(1.0, static_cast<double>(threshold - lo) /
+                          static_cast<double>(bucket_width(b)));
+    n += static_cast<std::uint64_t>(frac * static_cast<double>(in_bucket) + 0.5);
   }
   return n;
 }
@@ -68,7 +72,14 @@ sim::Duration LatencyHistogram::percentile(double p) const {
   SIM_ASSERT(count() > 0);
   if (p <= 0.0) return min();
   if (p >= 1.0) return max();
-  const auto target = static_cast<std::uint64_t>(p * static_cast<double>(count()) + 0.5);
+  // 1-based rank of the percentile sample: the smallest k with
+  // k/count >= p, i.e. ceil(p * count). (Rounding with +0.5 returned rank
+  // 0 for small p — bucket 0 regardless of the data — and fell one sample
+  // short whenever frac(p * count) was below 0.5.)
+  const auto target = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(p * static_cast<double>(count()))),
+      1, count());
   std::uint64_t cum = 0;
   for (int i = 0; i < kBucketCount; ++i) {
     cum += buckets_[static_cast<std::size_t>(i)];

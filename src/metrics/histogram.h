@@ -51,10 +51,13 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other);
   void clear();
 
-  /// Bucket index for a value — exposed for tests.
+  /// Bucket index for a value — exposed for tests. Values beyond the table
+  /// range (~2^49 ns) clamp into the last bucket.
   [[nodiscard]] static int bucket_index(sim::Duration v);
   /// Inclusive lower bound of a bucket — exposed for tests.
   [[nodiscard]] static sim::Duration bucket_lower_bound(int index);
+  /// Width of a bucket (1 ns through the first octave, doubling per octave).
+  [[nodiscard]] static sim::Duration bucket_width(int index);
 
  private:
   std::array<std::uint64_t, kBucketCount> buckets_{};

@@ -58,11 +58,17 @@ class Engine {
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
+  /// Structured latency-chain tracer (see sim/trace.h). Off by default;
+  /// enabling it never perturbs the event stream.
+  ChainTracer& chain_tracer() { return chain_tracer_; }
+  const ChainTracer& chain_tracer() const { return chain_tracer_; }
+
  private:
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
   Trace trace_;
+  ChainTracer chain_tracer_;
   std::uint64_t events_executed_ = 0;
 };
 

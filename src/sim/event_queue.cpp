@@ -13,6 +13,7 @@ std::uint32_t EventQueue::alloc_slot() {
     free_slots_.pop_back();
     return index;
   }
+  SIM_ASSERT_MSG(slots_.size() < kMaxSlots, "event slab exceeds 2^24 slots");
   slots_.emplace_back();
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
@@ -21,7 +22,8 @@ void EventQueue::release_slot(std::uint32_t index) {
   Slot& s = slots_[index];
   s.cb.reset();
   s.live = false;
-  if (++s.gen == 0) s.gen = 1;  // keep EventId.raw != 0 after wrap
+  s.gen = (s.gen + 1) & kGenMask;
+  if (s.gen == 0) s.gen = 1;  // keep EventId.raw != 0 after wrap
   free_slots_.push_back(index);
 }
 
@@ -34,7 +36,7 @@ EventId EventQueue::schedule_at(Time at, Callback cb) {
   s.cb = std::move(cb);
   ++live_;
   place(Key{at, s.seq, index});
-  return EventId{(std::uint64_t{index} << 32) | s.gen};
+  return EventId{(std::uint64_t{index} << kGenBits) | s.gen};
 }
 
 void EventQueue::place(Key k) {
@@ -58,8 +60,8 @@ void EventQueue::place(Key k) {
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
-  const auto index = static_cast<std::uint32_t>(id.raw >> 32);
-  const auto gen = static_cast<std::uint32_t>(id.raw);
+  const auto index = static_cast<std::uint32_t>(id.raw >> kGenBits);
+  const std::uint64_t gen = id.raw & kGenMask;
   if (index >= slots_.size()) return false;
   Slot& s = slots_[index];
   if (s.gen != gen || !s.live) return false;

@@ -40,9 +40,13 @@
 
 namespace sim {
 
-/// Opaque handle to a scheduled event; used to cancel it. Encodes the slot
-/// index plus a generation tag, so a stale id (already fired or cancelled,
-/// slot since reused) can never cancel somebody else's event.
+/// Opaque handle to a scheduled event; used to cancel it. Encodes a 24-bit
+/// slot index plus a 40-bit generation tag, so a stale id (already fired or
+/// cancelled, slot since reused) can never cancel somebody else's event.
+/// 40 generation bits put the wrap beyond 10^12 reuses of one slot — out of
+/// reach for any run this simulator can complete (a 32-bit tag was not: the
+/// free list is LIFO, so a hot slot could wrap in a long cancel-heavy run
+/// and let a stale id cancel an innocent event).
 struct EventId {
   std::uint64_t raw = 0;  ///< 0 means "no event".
 
@@ -93,10 +97,15 @@ class EventQueue {
     return kGranularityBits + level * kBucketBits;
   }
 
+  /// EventId bit split: high 24 bits slot index, low 40 bits generation.
+  static constexpr int kGenBits = 40;
+  static constexpr std::uint64_t kGenMask = (std::uint64_t{1} << kGenBits) - 1;
+  static constexpr std::size_t kMaxSlots = std::size_t{1} << (64 - kGenBits);
+
   struct Slot {
     Time at = 0;
     std::uint64_t seq = 0;
-    std::uint32_t gen = 1;
+    std::uint64_t gen = 1;  ///< 40 usable bits (see kGenBits)
     bool live = false;
     Callback cb;
   };

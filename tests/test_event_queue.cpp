@@ -262,6 +262,100 @@ TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
   EXPECT_TRUE(q.cancel(second));
 }
 
+// The wheel spans 2^40 ns (level 4's window edge). Events on either side of
+// that boundary land in different structures — the top wheel level vs the
+// overflow heap — and must still fire strictly in (time, insertion) order.
+TEST(EventQueue, Level4SpanBoundaryScheduling) {
+  EventQueue q;
+  const sim::Time span = sim::Time{1} << 40;
+  std::vector<int> order;
+  q.schedule_at(span + 1, [&] { order.push_back(4); });
+  q.schedule_at(span - 1, [&] { order.push_back(2); });
+  q.schedule_at(span, [&] { order.push_back(3); });
+  q.schedule_at(5, [&] { order.push_back(1); });
+  q.schedule_at(span, [&] { order.push_back(5); });  // same time: FIFO after 3
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5, 4}));
+}
+
+// Events beyond the wheel span sit in the overflow heap until the window
+// jumps past them. The jump must promote them in order, skip entries
+// cancelled while still in overflow, and interleave correctly with events
+// scheduled into the already-promoted window mid-drain.
+TEST(EventQueue, OverflowEventsRepromotedAfterWindowJump) {
+  EventQueue q;
+  const sim::Time far = sim::Time{1} << 41;
+  std::vector<int> order;
+  q.schedule_at(100, [&] { order.push_back(0); });
+  std::vector<EventId> far_ids;
+  for (int i = 0; i < 8; ++i) {
+    far_ids.push_back(q.schedule_at(far + static_cast<sim::Time>(i) * 10,
+                                    [&order, i] { order.push_back(1 + i); }));
+  }
+  EXPECT_TRUE(q.cancel(far_ids[3]));  // cancelled while still in overflow
+  auto [t0, cb0] = q.pop();
+  EXPECT_EQ(t0, 100u);
+  cb0();
+  // The next pop jumps the window across the whole wheel span.
+  EXPECT_EQ(q.next_time(), far);
+  auto [t1, cb1] = q.pop();
+  EXPECT_EQ(t1, far);
+  cb1();
+  // Mid-drain, drop a new event between two promoted overflow events.
+  q.schedule_at(far + 15, [&] { order.push_back(100); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 100, 3, 5, 6, 7, 8}));
+}
+
+// A compaction sweep recycles every tombstoned slot at once. Ids of the
+// compacted events must stay stale after their slots are reused, and the
+// survivors must be unaffected.
+TEST(EventQueue, StaleIdsAfterCompactionCannotCancelReusedSlots) {
+  EventQueue q;
+  const EventId keeper = q.schedule_at(1'000'000, [] {});
+  std::vector<EventId> doomed;
+  for (int i = 0; i < 200; ++i) {
+    doomed.push_back(
+        q.schedule_at(2'000'000 + static_cast<sim::Time>(i), [] {}));
+  }
+  // dead > 64 && dead > live triggers compact() partway through this loop.
+  for (const EventId id : doomed) ASSERT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    q.schedule_at(3'000'000 + static_cast<sim::Time>(i), [&] { ++fired; });
+  }
+  for (const EventId id : doomed) EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.cancel(keeper));
+  EXPECT_EQ(q.size(), 200u);
+  sim::Time prev = 0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, prev);
+    prev = t;
+    cb();
+  }
+  EXPECT_EQ(fired, 200);
+}
+
+// The LIFO free list makes one slot absorb every schedule/fire cycle; each
+// reuse bumps its generation tag. Every previously issued id must stay
+// stale across thousands of reuses (the 40-bit generation wraps only after
+// ~10^12 reuses of one slot — the old 32-bit tag was within reach of a
+// long cancel-heavy run).
+TEST(EventQueue, HotSlotReuseKeepsStaleIdsStale) {
+  EventQueue q;
+  std::vector<EventId> stale;
+  for (int i = 0; i < 10'000; ++i) {
+    const EventId id = q.schedule_at(static_cast<sim::Time>(i), [] {});
+    q.pop().second();
+    stale.push_back(id);
+  }
+  const EventId live = q.schedule_at(99, [] {});
+  for (const EventId id : stale) ASSERT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.cancel(live));
+}
+
 TEST(EventQueue, ManyInterleavedOpsStayConsistent) {
   EventQueue q;
   std::vector<EventId> ids;

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "metrics/histogram.h"
 #include "sim/rng.h"
 
@@ -119,6 +124,112 @@ TEST(Histogram, NonzeroBucketsCoverAllSamples) {
     total += b.count;
   }
   EXPECT_EQ(total, h.count());
+}
+
+namespace {
+
+std::uint64_t brute_count_below(const std::vector<sim::Duration>& samples,
+                                sim::Duration threshold) {
+  return static_cast<std::uint64_t>(
+      std::count_if(samples.begin(), samples.end(),
+                    [&](sim::Duration s) { return s < threshold; }));
+}
+
+}  // namespace
+
+// Regression: a threshold exactly at a bucket's lower bound must count
+// exactly the samples in earlier buckets — the buckets partition the value
+// range there, so no proportional attribution applies. Cross-checked
+// against a brute-force vector count at the bound, and sandwiched by the
+// adjacent exact counts one past it.
+TEST(Histogram, CountBelowExactAtBucketLowerBounds) {
+  LatencyHistogram h;
+  std::vector<sim::Duration> samples;
+  sim::Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    const sim::Duration v = rng.uniform_duration(1, 20_ms);
+    h.add(v);
+    samples.push_back(v);
+  }
+  for (const int b : {1, 31, 32, 33, 64, 200, 320, 500, 700, 800}) {
+    const sim::Duration lo = LatencyHistogram::bucket_lower_bound(b);
+    const std::uint64_t at_lo = h.count_below(lo);
+    EXPECT_EQ(at_lo, brute_count_below(samples, lo)) << "bucket " << b;
+    // lo + 1 lands inside bucket b: the proportional estimate must stay
+    // between the two exact boundary counts.
+    const std::uint64_t at_next =
+        h.count_below(LatencyHistogram::bucket_lower_bound(b + 1));
+    const std::uint64_t at_lo1 = h.count_below(lo + 1);
+    EXPECT_GE(at_lo1, at_lo) << "bucket " << b;
+    EXPECT_LE(at_lo1, at_next) << "bucket " << b;
+  }
+}
+
+// Values beyond the table's ~2^49 ns range clamp into the last bucket
+// (bucket_index used to walk off the table and trip its assert).
+TEST(Histogram, HandlesValuesBeyondTableRange) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(~sim::Duration{0}),
+            LatencyHistogram::kBucketCount - 1);
+  // A merely-too-large value (the all-ones extreme above cannot round-trip
+  // through the Summary's double min/max).
+  const sim::Duration huge = sim::Duration{1} << 55;  // ~416 days
+  EXPECT_EQ(LatencyHistogram::bucket_index(huge),
+            LatencyHistogram::kBucketCount - 1);
+  LatencyHistogram h;
+  h.add(1_us);
+  h.add(huge);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), huge);
+  EXPECT_EQ(h.count_below(huge), 2u);
+  EXPECT_EQ(h.percentile(1.0), huge);
+}
+
+// Regression for the percentile rank: the old `+ 0.5` rounding returned
+// rank 0 for small p (bucket 0 regardless of the data) and fell one sample
+// short whenever frac(p * count) was below 0.5. The rank is
+// ceil(p * count): the smallest k with k/count >= p.
+TEST(Histogram, PercentileRankIsCeilNotRound) {
+  LatencyHistogram h;
+  for (sim::Duration v = 1; v <= 10; ++v) h.add(v * 1_us);
+  // p=0.01 of 10 samples is the smallest sample (ceil(0.1) = 1), not a
+  // sub-microsecond bucket-0 value.
+  EXPECT_EQ(LatencyHistogram::bucket_index(h.percentile(0.01)),
+            LatencyHistogram::bucket_index(1_us));
+  // p=0.91 needs 10 samples <= L (ceil(9.1) = 10): the answer lives in
+  // 10 us's bucket, not 9 us's.
+  EXPECT_EQ(LatencyHistogram::bucket_index(h.percentile(0.91)),
+            LatencyHistogram::bucket_index(10_us));
+}
+
+// Randomized cross-check: percentile() must land in the same bucket as the
+// true rank-ceil(p*n) order statistic computed by std::nth_element.
+TEST(Histogram, PercentileMatchesNthElementBucket) {
+  sim::Rng rng(1234);
+  const double ps[] = {0.01, 0.1, 0.25, 0.5, 0.9, 0.91, 0.99, 0.999};
+  for (int n = 1; n <= 50; ++n) {
+    LatencyHistogram h;
+    std::vector<sim::Duration> samples;
+    for (int i = 0; i < n; ++i) {
+      const sim::Duration s = rng.uniform_duration(1, 20_ms);
+      h.add(s);
+      samples.push_back(s);
+    }
+    for (const double p : ps) {
+      const auto count = static_cast<std::uint64_t>(n);
+      const auto rank = std::clamp<std::uint64_t>(
+          static_cast<std::uint64_t>(
+              std::ceil(p * static_cast<double>(count))),
+          1, count);
+      auto sorted = samples;
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + static_cast<std::ptrdiff_t>(rank - 1),
+                       sorted.end());
+      const sim::Duration truth = sorted[rank - 1];
+      EXPECT_EQ(LatencyHistogram::bucket_index(h.percentile(p)),
+                LatencyHistogram::bucket_index(truth))
+          << "n=" << n << " p=" << p;
+    }
+  }
 }
 
 // Property sweep: count_below is monotone and hits exact totals.

@@ -20,10 +20,11 @@ struct RunResult {
   std::uint64_t syscalls;
 };
 
-RunResult run_once(std::uint64_t seed) {
+RunResult run_once(std::uint64_t seed, bool trace = false) {
   config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
                      config::KernelConfig::vanilla_2_4_20(), seed);
   workload::StressKernel{}.install(p);
+  if (trace) p.engine().chain_tracer().enable();
   rt::RealfeelTest::Params rp;
   rp.samples = 20'000;
   rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
@@ -45,6 +46,19 @@ TEST(Reproducibility, SameSeedSameRun) {
   EXPECT_EQ(a.max_latency, b.max_latency);
   EXPECT_EQ(a.mean_latency, b.mean_latency);
   EXPECT_EQ(a.syscalls, b.syscalls);
+}
+
+// The chain tracer only reads simulation time — it never schedules events
+// or draws random numbers — so enabling it must not change the event
+// stream or any figure metric. This is what lets verify.sh vouch that
+// tracing-off figure outputs are byte-identical to a tracing build's.
+TEST(Reproducibility, ChainTracerDoesNotPerturbTheRun) {
+  const auto off = run_once(555, /*trace=*/false);
+  const auto on = run_once(555, /*trace=*/true);
+  EXPECT_EQ(off.events, on.events);
+  EXPECT_EQ(off.max_latency, on.max_latency);
+  EXPECT_EQ(off.mean_latency, on.mean_latency);
+  EXPECT_EQ(off.syscalls, on.syscalls);
 }
 
 TEST(Reproducibility, DifferentSeedDifferentRun) {

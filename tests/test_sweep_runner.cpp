@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "../bench/bench_util.h"
@@ -30,6 +31,33 @@ TEST(SweepRunner, SingleWorkerFallbackMatches) {
   const auto got =
       serial.map<int>(7, [](std::size_t i) { return static_cast<int>(i) - 3; });
   EXPECT_EQ(std::accumulate(got.begin(), got.end(), 0), -7 + 4 + 3);
+}
+
+// Regression: an exception in a worker thread used to escape the plain
+// std::thread and call std::terminate. It must be captured, stop further
+// case claiming, and rethrow on the calling thread after the joins.
+TEST(SweepRunner, WorkerExceptionPropagatesToCaller) {
+  const auto boom = [](std::size_t i) -> int {
+    if (i == 10) throw std::runtime_error("case 10 failed");
+    return static_cast<int>(i);
+  };
+  EXPECT_THROW(bench::SweepRunner(3).map<int>(64, boom), std::runtime_error);
+  try {
+    bench::SweepRunner(3).map<int>(64, boom);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "case 10 failed");
+  }
+}
+
+TEST(SweepRunner, SerialPathPropagatesExceptionToo) {
+  EXPECT_THROW(bench::SweepRunner(1).map<int>(
+                   4,
+                   [](std::size_t i) -> int {
+                     if (i == 2) throw std::runtime_error("serial boom");
+                     return 0;
+                   }),
+               std::runtime_error);
 }
 
 // Parallel sweep cases each build a full Platform; results must not depend

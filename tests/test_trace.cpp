@@ -73,6 +73,113 @@ TEST(Trace, KernelEmitsSchedulingRecords) {
   EXPECT_TRUE(saw_switch);
 }
 
+// ---------------------------------------------------------------------------
+// ChainTracer unit tests. When the tracer is compiled out these skip: the
+// stub API still links (tested by the build itself), it just records nothing.
+// ---------------------------------------------------------------------------
+
+TEST(ChainTracer, DisabledOpenReturnsInvalidId) {
+  sim::ChainTracer t;
+  EXPECT_FALSE(t.enabled());
+  const sim::ChainId id = t.open("irq8", 100);
+  EXPECT_FALSE(id.valid());
+  // Everything downstream of an invalid id is a no-op.
+  t.mark(id, sim::SegmentKind::kIrqHandler, 0, 200);
+  EXPECT_FALSE(t.close(id, sim::SegmentKind::kKernelExit, 0, 300).has_value());
+  EXPECT_EQ(t.opened(), 0u);
+}
+
+TEST(ChainTracer, SegmentsPartitionTheChainExactly) {
+  if (!sim::ChainTracer::compiled_in()) GTEST_SKIP();
+  sim::ChainTracer t;
+  t.enable();
+  const sim::ChainId id = t.open("irq8", 1'000);
+  t.mark(id, sim::SegmentKind::kIrqRaise, 1, 1'450);
+  t.mark(id, sim::SegmentKind::kIrqHandler, 1, 3'000);
+  t.mark(id, sim::SegmentKind::kSpinWait, 1, 9'000, "bkl");
+  const auto chain = t.close(id, sim::SegmentKind::kKernelExit, 1, 12'345);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->origin, "irq8");
+  EXPECT_EQ(chain->total(), 11'345u);
+  EXPECT_EQ(chain->segment_total(), chain->total());
+  ASSERT_EQ(chain->segments.size(), 4u);
+  EXPECT_EQ(chain->segments[0].kind, sim::SegmentKind::kIrqRaise);
+  EXPECT_EQ(chain->segments[2].detail, "bkl");
+  EXPECT_EQ(chain->total_for(sim::SegmentKind::kSpinWait), 6'000u);
+  // Adjacent segments tile [start, end] with no gaps.
+  for (std::size_t i = 1; i < chain->segments.size(); ++i) {
+    EXPECT_EQ(chain->segments[i].begin, chain->segments[i - 1].end);
+  }
+  EXPECT_EQ(t.completed(), 1u);
+  // The formatted decomposition names every segment.
+  const std::string s = chain->format();
+  EXPECT_NE(s.find("irq-raise"), std::string::npos);
+  EXPECT_NE(s.find("spin-wait"), std::string::npos);
+  EXPECT_NE(s.find("(bkl)"), std::string::npos);
+}
+
+TEST(ChainTracer, BackwardMarkIsClampedToKeepPartitionExact) {
+  if (!sim::ChainTracer::compiled_in()) GTEST_SKIP();
+  sim::ChainTracer t;
+  t.enable();
+  const sim::ChainId id = t.open("ktimer", 1'000);
+  t.mark(id, sim::SegmentKind::kTimerExpiry, 0, 2'000);
+  // A mark at or before the previous one must not produce a negative or
+  // overlapping segment; it is dropped.
+  t.mark(id, sim::SegmentKind::kRunqueueWait, 0, 1'500);
+  t.mark(id, sim::SegmentKind::kRunqueueWait, 0, 2'000);
+  const auto chain = t.close(id, sim::SegmentKind::kContextSwitch, 0, 5'000);
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->segments.size(), 2u);
+  EXPECT_EQ(chain->segment_total(), chain->total());
+}
+
+TEST(ChainTracer, StaleIdsAreRejectedAfterSlotReuse) {
+  if (!sim::ChainTracer::compiled_in()) GTEST_SKIP();
+  sim::ChainTracer t;
+  t.enable();
+  const sim::ChainId first = t.open("irq1", 10);
+  t.abandon(first);
+  const sim::ChainId second = t.open("irq2", 20);  // reuses the slot
+  EXPECT_FALSE(t.alive(first));
+  EXPECT_TRUE(t.alive(second));
+  t.mark(first, sim::SegmentKind::kIrqHandler, 0, 30);  // no-op
+  EXPECT_FALSE(t.close(first, sim::SegmentKind::kKernelExit, 0, 40).has_value());
+  const auto chain = t.close(second, sim::SegmentKind::kKernelExit, 0, 50);
+  ASSERT_TRUE(chain.has_value());
+  ASSERT_EQ(chain->segments.size(), 1u);
+  EXPECT_EQ(chain->segments[0].begin, 20u);  // second's history, not first's
+  EXPECT_EQ(t.abandoned(), 1u);
+  EXPECT_EQ(t.completed(), 1u);
+}
+
+TEST(ChainTracer, LiveCapDropsExcessOpens) {
+  if (!sim::ChainTracer::compiled_in()) GTEST_SKIP();
+  sim::ChainTracer t;
+  t.enable(/*max_live=*/2);
+  const sim::ChainId a = t.open("a", 1);
+  const sim::ChainId b = t.open("b", 2);
+  const sim::ChainId c = t.open("c", 3);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(t.dropped(), 1u);
+  t.abandon(a);
+  EXPECT_TRUE(t.open("d", 4).valid());  // slot freed, under the cap again
+}
+
+TEST(ChainTracer, DisableAbandonsChainsInFlight) {
+  if (!sim::ChainTracer::compiled_in()) GTEST_SKIP();
+  sim::ChainTracer t;
+  t.enable();
+  const sim::ChainId a = t.open("a", 1);
+  t.disable();
+  EXPECT_FALSE(t.alive(a));
+  EXPECT_EQ(t.abandoned(), 1u);
+  EXPECT_EQ(t.live(), 0u);
+  EXPECT_FALSE(t.open("late", 2).valid());
+}
+
 TEST(Trace, KernelEmitsSyscallAndShieldRecords) {
   auto p = redhawk_rig(172);
   p->engine().trace().enable();

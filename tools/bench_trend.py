@@ -11,6 +11,11 @@ paths show up as a trend, not a surprise:
 Compare the last two entries:
 
     tools/bench_trend.py --compare
+
+Gate on regressions (CI): exits nonzero when any benchmark's cpu time in
+the latest entry is more than 10% above the previous entry's:
+
+    tools/bench_trend.py --check [--tolerance 0.10]
 """
 
 import argparse
@@ -80,6 +85,37 @@ def compare(history):
     return 0
 
 
+def check(history, tolerance):
+    """Fail when the latest entry regressed more than `tolerance` vs the
+    previous one. Benchmarks present in only one entry are ignored (new or
+    retired benchmarks are not regressions)."""
+    if len(history) < 2:
+        print("need at least two entries to check")
+        return 1
+    prev, cur = history[-2], history[-1]
+    names = sorted(set(prev["benchmarks"]) & set(cur["benchmarks"]))
+    regressions = []
+    for name in names:
+        p = prev["benchmarks"][name]
+        c = cur["benchmarks"][name]
+        if p["time_unit"] != c["time_unit"] or not p["cpu_time"]:
+            continue
+        ratio = c["cpu_time"] / p["cpu_time"]
+        flag = ""
+        if ratio > 1.0 + tolerance:
+            regressions.append(name)
+            flag = "  <-- REGRESSION"
+        print(f"  {name:<55} {p['cpu_time']:>10.1f} -> {c['cpu_time']:>10.1f} "
+              f"{c['time_unit']}  ({(ratio - 1.0) * 100.0:+.1f}%){flag}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{tolerance * 100.0:.0f}%: {', '.join(regressions)}")
+        return 1
+    print(f"OK: no benchmark regressed more than {tolerance * 100.0:.0f}% "
+          f"across {len(names)} compared")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bin", default=DEFAULT_BIN,
@@ -92,11 +128,19 @@ def main():
                     help="--benchmark_min_time seconds (default 0.2)")
     ap.add_argument("--compare", action="store_true",
                     help="diff the last two recorded entries and exit")
+    ap.add_argument("--check", action="store_true",
+                    help="fail (exit 1) when the latest entry regressed "
+                         "more than --tolerance vs the previous one")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional cpu-time growth for --check "
+                         "(default 0.10)")
     args = ap.parse_args()
 
     history = load_history(args.out)
     if args.compare:
         return compare(history)
+    if args.check:
+        return check(history, args.tolerance)
 
     if not os.path.exists(args.bin):
         print(f"error: {args.bin} not found — build first "

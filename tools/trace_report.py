@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Render a latency report JSON (bench --trace-json / latency_report_json).
+
+Prints, for every recorded chain, the worst-case decomposition: each
+segment kind's total time and share of the chain, in the spirit of the
+paper's §6.2 analysis (where does a 92 ms /dev/rtc worst case go, and why
+the RCIM ioctl path has none of those stretches). Then the per-CPU kernel
+counters and the spinlock table.
+
+Stdlib only; no third-party dependencies.
+
+Usage: tools/trace_report.py REPORT.json [REPORT2.json ...]
+"""
+
+import json
+import sys
+
+
+def fmt_ns(ns):
+    """Render nanoseconds with an adaptive unit, matching format_duration."""
+    ns = int(ns)
+    if ns < 10_000:
+        return f"{ns} ns"
+    if ns < 10_000_000:
+        return f"{ns / 1e3:.1f} us"
+    if ns < 10_000_000_000:
+        return f"{ns / 1e6:.3f} ms"
+    return f"{ns / 1e9:.3f} s"
+
+
+def print_chain(label, chain):
+    total = chain["total_ns"]
+    print(f"\n== {label} ==")
+    print(f"origin {chain['origin']}, total {fmt_ns(total)} "
+          f"({len(chain['segments'])} segments)")
+
+    # Timeline: every segment in order.
+    print(f"  {'offset':>12}  {'span':>12}  {'%':>6}  segment")
+    for seg in chain["segments"]:
+        pct = 100.0 * seg["span_ns"] / total if total else 0.0
+        where = seg["kind"]
+        if seg.get("cpu", -1) >= 0:
+            where += f" cpu{seg['cpu']}"
+        if seg.get("detail"):
+            where += f" ({seg['detail']})"
+        offset = seg["begin_ns"] - chain["start_ns"]
+        print(f"  {fmt_ns(offset):>12}  {fmt_ns(seg['span_ns']):>12}  "
+              f"{pct:5.1f}%  {where}")
+
+    # Attribution: aggregate by (kind, detail), largest first.
+    by_kind = {}
+    for seg in chain["segments"]:
+        key = (seg["kind"], seg.get("detail", ""))
+        by_kind[key] = by_kind.get(key, 0) + seg["span_ns"]
+    print("  attribution:")
+    for (kind, detail), span in sorted(by_kind.items(), key=lambda kv: -kv[1]):
+        name = f"{kind} ({detail})" if detail else kind
+        pct = 100.0 * span / total if total else 0.0
+        print(f"    {fmt_ns(span):>12}  {pct:5.1f}%  {name}")
+    accounted = sum(by_kind.values())
+    if total and abs(accounted - total) > total * 0.01:
+        print(f"    WARNING: segments sum to {fmt_ns(accounted)}, "
+              f"not {fmt_ns(total)}")
+
+
+def print_report(path):
+    with open(path) as f:
+        report = json.load(f)
+
+    print(f"# {path}")
+    print(f"simulated time: {fmt_ns(report['sim_time_ns'])}")
+
+    tracer = report.get("tracer", {})
+    if tracer:
+        state = "enabled" if tracer.get("enabled") else "disabled"
+        if not tracer.get("compiled_in"):
+            state = "compiled out"
+        print(f"tracer: {state}; opened {tracer.get('opened', 0)}, "
+              f"completed {tracer.get('completed', 0)}, "
+              f"abandoned {tracer.get('abandoned', 0)}, "
+              f"dropped {tracer.get('dropped', 0)}")
+
+    for entry in report.get("chains", []):
+        print_chain(entry["label"], entry["chain"])
+
+    cpus = report.get("cpus", [])
+    if cpus:
+        print("\nper-CPU kernel time:")
+        print(f"  {'cpu':>3}  {'irq':>12}  {'softirq':>12}  {'spin-wait':>12}"
+              f"  {'bkl-hold':>12}  {'irq-off max':>12}  {'pre-off max':>12}")
+        for c in cpus:
+            print(f"  {c['cpu']:>3}  {fmt_ns(c['irq_ns']):>12}"
+                  f"  {fmt_ns(c['softirq_ns']):>12}"
+                  f"  {fmt_ns(c['spin_wait_ns']):>12}"
+                  f"  {fmt_ns(c['bkl_hold_ns']):>12}"
+                  f"  {fmt_ns(c['irq_off_max_ns']):>12}"
+                  f"  {fmt_ns(c['preempt_off_max_ns']):>12}")
+
+    locks = report.get("locks", [])
+    if locks:
+        print("\nspinlocks:")
+        print(f"  {'lock':<12}  {'acquisitions':>12}  {'contentions':>11}"
+              f"  {'wait':>12}  {'hold':>12}")
+        for l in locks:
+            print(f"  {l['lock']:<12}  {l['acquisitions']:>12}"
+                  f"  {l['contentions']:>11}  {fmt_ns(l['wait_ns']):>12}"
+                  f"  {fmt_ns(l['hold_ns']):>12}")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for i, path in enumerate(argv[1:]):
+        if i:
+            print()
+        print_report(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verify flow: the plain build + tests, then the same tests under
 # ASan+UBSan so the calendar's slot reuse and the threaded bench
-# SweepRunner stay sanitizer-clean.
+# SweepRunner stay sanitizer-clean, then a build with the chain tracer
+# compiled out (-DSHIELDSIM_CHAIN_TRACE=0) so the stubbed emit sites keep
+# compiling and the figure pipeline works without the tracer.
+# ASan aborts on the first finding (-fno-sanitize-recover=all), so any
+# sanitizer hit fails its test and set -e stops the script there.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,3 +18,8 @@ ctest --preset default
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan
+
+cmake -S . -B build-notrace -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSHIELDSIM_CHAIN_TRACE=OFF
+cmake --build build-notrace -j "${jobs}"
+ctest --test-dir build-notrace --output-on-failure -j 4
