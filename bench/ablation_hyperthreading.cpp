@@ -4,109 +4,58 @@
 // the sibling logical CPU contends for the shared execution unit. This
 // bench runs the determinism loop with the sibling kept busy for a
 // controlled fraction of the time and reports jitter vs sibling duty.
+// The (duty, sibling-kind) grid is the registry's abl-ht-* scenarios.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "config/platform.h"
-#include "metrics/report.h"
-#include "rt/determinism_test.h"
-#include "workload/workload.h"
-
-using namespace sim::literals;
+#include "scenario_bench.h"
 
 namespace {
 
-struct JitterResult {
-  double percent = 0.0;
-  bool finished = true;
-};
-
-JitterResult jitter_percent(bool ht, double sibling_duty, int iterations,
-                            std::uint64_t seed) {
-  config::Platform p(config::MachineConfig::dual_p4_xeon_1400(),
-                     config::KernelConfig::vanilla_2_4_20(), seed, ht);
-
-  rt::DeterminismTest::Params dp;
-  dp.loop_work = 300_ms;
-  dp.iterations = iterations;
-  dp.affinity = hw::CpuMask::single(0);
-  rt::DeterminismTest test(p.kernel(), dp);
-
-  if (ht && sibling_duty > 0.0) {
-    // A duty-cycled hog pinned to the sibling (logical CPU 1).
-    kernel::Kernel::TaskParams tp;
-    tp.name = "sibling-hog";
-    tp.affinity = hw::CpuMask::single(1);
-    tp.memory_intensity = 0.7;
-    const auto busy = static_cast<sim::Duration>(10.0e6 * sibling_duty);
-    const auto idle = static_cast<sim::Duration>(10.0e6 * (1.0 - sibling_duty));
-    auto on = std::make_shared<bool>(true);
-    workload::spawn(p.kernel(), std::move(tp),
-                    [busy, idle, on](kernel::Kernel&, kernel::Task&) -> kernel::Action {
-                      *on = !*on;
-                      if (*on && idle > 0) return kernel::SleepAction{idle};
-                      return kernel::ComputeAction{busy == 0 ? 1u : busy, 0.7};
-                    });
-  } else if (!ht && sibling_duty > 0.0) {
-    // Without HT the "sibling" is a separate core: same load, no execution
-    // unit sharing.
-    kernel::Kernel::TaskParams tp;
-    tp.name = "other-core-hog";
-    tp.affinity = hw::CpuMask::single(1);
-    tp.memory_intensity = 0.7;
-    const auto busy = static_cast<sim::Duration>(10.0e6 * sibling_duty);
-    const auto idle = static_cast<sim::Duration>(10.0e6 * (1.0 - sibling_duty));
-    auto on = std::make_shared<bool>(true);
-    workload::spawn(p.kernel(), std::move(tp),
-                    [busy, idle, on](kernel::Kernel&, kernel::Task&) -> kernel::Action {
-                      *on = !*on;
-                      if (*on && idle > 0) return kernel::SleepAction{idle};
-                      return kernel::ComputeAction{busy == 0 ? 1u : busy, 0.7};
-                    });
-  }
-
-  p.boot();
-  p.run_for(dp.loop_work * static_cast<sim::Duration>(iterations) * 3 + 10_s);
-  return JitterResult{100.0 *
-                          static_cast<double>(test.max_observed() -
-                                              test.ideal()) /
-                          static_cast<double>(test.ideal()),
-                      test.done()};
+double jitter_percent(const config::ScenarioResult& r) {
+  const double ideal = static_cast<double>(r.probe.ideal);
+  if (ideal <= 0) return 0.0;
+  return 100.0 * (r.probe.stats.at("max_observed_ns") - ideal) / ideal;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const int iterations = static_cast<int>(opt.scaled(25));
 
   bench::print_header(
       "Ablation C: hyperthread execution-unit contention (§5.2)");
-  std::printf("%d iterations of a 300 ms loop per case\n\n", iterations);
+  std::printf("%d iterations of a 300 ms loop per case\n\n",
+              static_cast<int>(opt.scaled(25)));
   std::printf("  %-22s %16s %16s\n", "neighbour duty", "jitter (HT sibling)",
               "jitter (other core)");
   std::printf("  %s\n", std::string(58, '-').c_str());
-  const double duties[] = {0.0, 0.25, 0.5, 0.75, 1.0};
-  // One case per (duty, sibling-kind) pair, spread across all cores.
-  const auto rows = bench::SweepRunner{}.map<JitterResult>(
-      2 * std::size(duties), [&](std::size_t i) {
-        return jitter_percent(/*ht=*/i % 2 == 0, duties[i / 2], iterations,
-                              opt.seed);
-      });
+
+  // Row pairs: per duty, the HT-sibling case then the other-core case.
+  const auto specs = bench::specs_for(
+      {"abl-ht-duty0-sibling", "abl-ht-duty0-core", "abl-ht-duty25-sibling",
+       "abl-ht-duty25-core", "abl-ht-duty50-sibling", "abl-ht-duty50-core",
+       "abl-ht-duty75-sibling", "abl-ht-duty75-core",
+       "abl-ht-duty100-sibling", "abl-ht-duty100-core"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
+
+  const double duties[] = {0.0, 25.0, 50.0, 75.0, 100.0};
   for (std::size_t d = 0; d < std::size(duties); ++d) {
-    const JitterResult& ht_jit = rows[2 * d];
-    const JitterResult& core_jit = rows[2 * d + 1];
-    if (!ht_jit.finished || !core_jit.finished) {
+    const auto& ht = results[2 * d];
+    const auto& core = results[2 * d + 1];
+    if (!ht.probe.complete || !core.probe.complete) {
       std::printf("  (warning: run did not finish)\n");
     }
-    std::printf("  %20.0f%% %15.2f%% %15.2f%%\n", duties[d] * 100,
-                ht_jit.percent, core_jit.percent);
+    std::printf("  %20.0f%% %15.2f%% %15.2f%%\n", duties[d],
+                jitter_percent(ht), jitter_percent(core));
   }
   std::printf(
       "\nExpected shape: jitter grows steeply with sibling duty when the\n"
       "neighbour shares the execution unit (HT), and stays near the bus-\n"
       "contention floor when it lives on its own core — the paper's Fig 1\n"
       "vs Fig 4 difference, parameterised.\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

@@ -1,164 +1,64 @@
 // Ablation B: the RedHawk patch stack, feature by feature.
 //
 // §4 lists the ingredients: preemption patch, low-latency patches, O(1)
-// scheduler, softirq changes, BKL-free ioctl, shielding. This bench builds
+// scheduler, softirq changes, BKL-free ioctl, shielding. Table B1 builds
 // the kernel up one feature at a time and measures realfeel worst-case
 // latency under stress-kernel — reproducing the paper's narrative arc from
 // "92 ms" to "1.2 ms" [5] to "sub-millisecond with shielding".
 //
-// A second table isolates the §6.3 BKL-ioctl flag using the RCIM wait path.
+// A second table isolates the §6.3 BKL-ioctl flag using the RCIM wait path
+// (ground-truth latencies: with the BKL the latency can exceed the RCIM
+// period, which wraps the register measurement).
+//
+// Both ladders are registry scenarios (abl-kernel-*, abl-bkl-*); the
+// kernel-feature deltas live in their kernel_overrides.
 #include <cstdio>
-#include <memory>
+#include <string>
 
 #include "bench_util.h"
-#include "config/platform.h"
 #include "metrics/report.h"
-#include "rt/rcim_test.h"
-#include "rt/realfeel_test.h"
-#include "workload/disk_noise.h"
-#include "workload/legacy_ioctl.h"
-#include "workload/workload.h"
-#include "workload/stress_kernel.h"
-#include "workload/ttcp.h"
-#include "workload/x11perf.h"
-
-using namespace sim::literals;
-
-namespace {
-
-sim::Duration realfeel_worst(const config::KernelConfig& kcfg, bool shield,
-                             std::uint64_t samples, std::uint64_t seed) {
-  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
-  workload::StressKernel{}.install(p);
-  rt::RealfeelTest::Params rp;
-  rp.samples = samples;
-  if (shield) rp.affinity = hw::CpuMask::single(1);
-  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
-  p.boot();
-  if (shield) p.shield().dedicate_cpu(1, test.task(), p.rtc_device().irq());
-  test.start();
-  p.run_for(sim::from_seconds(static_cast<double>(samples) / 2048.0 * 2) + 5_s);
-  return test.latencies().max();
-}
-
-struct RcimResult {
-  sim::Duration min;
-  sim::Duration avg;
-  sim::Duration max;
-};
-
-RcimResult rcim_with_flag(bool bkl_flag_supported, std::uint64_t samples,
-                          std::uint64_t seed) {
-  // The §6.3 problem was observed before RedHawk's "BKL hold time
-  // reduction" (§1) landed: model that kernel — preemptible, shielded,
-  // RCIM-equipped, but with 2.4-length BKL/section hold times — so the
-  // flag's effect is visible in isolation.
-  auto kcfg = config::KernelConfig::redhawk_1_4();
-  kcfg.section_min = 2 * sim::kMicrosecond;
-  kcfg.section_max = 8 * sim::kMillisecond;
-  kcfg.section_alpha = 1.1;
-  kcfg.bkl_ioctl_flag = bkl_flag_supported;
-  kcfg.name = bkl_flag_supported ? "early RedHawk (BKL-free ioctl)"
-                                 : "early RedHawk (BKL in every ioctl)";
-  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(), kcfg,
-                     seed);
-  workload::StressKernel{}.install(p);
-  workload::X11Perf{}.install(p);
-  workload::TtcpEthernet{}.install(p);
-  workload::DiskNoise{}.install(p);
-  // BKL-heavy legacy drivers: tty/console/graphics ioctls all ran under
-  // lock_kernel() in 2.4, which is what made the BKL "one of the most
-  // highly contended spin locks in Linux".
-  workload::LegacyIoctl{}.install(p);
-  rt::RcimTest::Params rp;
-  rp.samples = samples;
-  rp.affinity = hw::CpuMask::single(1);
-  rt::RcimTest test(p.kernel(), p.rcim_driver(), rp);
-  p.boot();
-  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
-  test.start();
-  p.run_for(sim::from_seconds(static_cast<double>(samples) / 1000.0 * 2) + 5_s);
-  // Use ground truth here: with the BKL the latency can exceed the RCIM
-  // period, which wraps the register-based measurement.
-  return RcimResult{test.true_latencies().min(), test.true_latencies().mean(),
-                    test.true_latencies().max()};
-}
-
-}  // namespace
+#include "scenario_bench.h"
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const std::uint64_t samples = opt.scaled(400'000);
 
-  bench::print_header("Ablation B1: kernel feature stack vs realfeel worst case");
+  const auto specs = bench::specs_for(
+      {"abl-kernel-vanilla", "abl-kernel-lowlat", "abl-kernel-preempt",
+       "abl-kernel-preempt-lowlat", "abl-kernel-redhawk-noshield",
+       "abl-kernel-redhawk-shielded", "abl-bkl-locked", "abl-bkl-flagged"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
+  constexpr std::size_t kB1 = 6;  // first six rows are the feature ladder
+
+  bench::print_header(
+      "Ablation B1: kernel feature stack vs realfeel worst case");
   std::printf("samples per case: %llu\n\n",
-              static_cast<unsigned long long>(samples));
-
-  struct Step {
-    const char* name;
-    config::KernelConfig cfg;
-    bool shield;
-  };
-  auto lowlat_only = config::KernelConfig::vanilla_2_4_20();
-  lowlat_only.name = "2.4.20 + low-latency";
-  lowlat_only.low_latency = true;
-  lowlat_only.section_min = 1_us;
-  lowlat_only.section_max = 1200_us;
-  lowlat_only.section_alpha = 1.3;
-
-  auto preempt_only = config::KernelConfig::vanilla_2_4_20();
-  preempt_only.name = "2.4.20 + preempt";
-  preempt_only.preempt_kernel = true;
-
-  auto redhawk_noshield = config::KernelConfig::redhawk_1_4();
-  redhawk_noshield.name = "RedHawk (shield unused)";
-
-  const Step steps[] = {
-      {"kernel.org 2.4.20", config::KernelConfig::vanilla_2_4_20(), false},
-      {"+ low-latency patches only", lowlat_only, false},
-      {"+ preemption patch only", preempt_only, false},
-      {"+ preempt + low-latency [5]", config::KernelConfig::patched_preempt_lowlat(),
-       false},
-      {"RedHawk 1.4, unshielded", redhawk_noshield, false},
-      {"RedHawk 1.4, shielded CPU", config::KernelConfig::redhawk_1_4(), true},
-  };
-
+              static_cast<unsigned long long>(opt.scaled(400'000)));
   std::printf("  %-34s %14s\n", "kernel", "max latency");
   std::printf("  %s\n", std::string(50, '-').c_str());
-  const bench::SweepRunner runner;
-  const auto worsts = runner.map<sim::Duration>(
-      std::size(steps), [&](std::size_t i) {
-        return realfeel_worst(steps[i].cfg, steps[i].shield, samples,
-                              opt.seed + i);
-      });
-  for (std::size_t i = 0; i < std::size(steps); ++i) {
-    std::printf("  %-34s %14s\n", steps[i].name,
-                sim::format_duration(worsts[i]).c_str());
+  for (std::size_t i = 0; i < kB1; ++i) {
+    std::printf("  %-34s %14s\n", specs[i].title.c_str(),
+                sim::format_duration(results[i].probe.primary.max()).c_str());
   }
 
   bench::print_header(
       "Ablation B2: the BKL-ioctl flag (§6.3) on the RCIM wait path");
-  const std::uint64_t rcim_samples = opt.scaled(200'000);
   std::printf("samples per case: %llu\n\n",
-              static_cast<unsigned long long>(rcim_samples));
+              static_cast<unsigned long long>(opt.scaled(200'000)));
   std::printf("  %-34s %10s %10s %12s\n", "generic ioctl layer", "min", "avg",
               "max");
   std::printf("  %s\n", std::string(70, '-').c_str());
-  const auto rcim_rows = runner.map<RcimResult>(2, [&](std::size_t i) {
-    return rcim_with_flag(i == 1, rcim_samples, opt.seed + 100);
-  });
-  for (std::size_t i = 0; i < rcim_rows.size(); ++i) {
-    const RcimResult& r = rcim_rows[i];
-    std::printf("  %-34s %10s %10s %12s\n",
-                i == 1 ? "driver flag honoured (no BKL)" : "BKL around ioctl",
-                sim::format_duration(r.min).c_str(),
-                sim::format_duration(r.avg).c_str(),
-                sim::format_duration(r.max).c_str());
+  for (std::size_t i = kB1; i < specs.size(); ++i) {
+    const auto& lat = results[i].probe.primary;
+    std::printf("  %-34s %10s %10s %12s\n", specs[i].title.c_str(),
+                sim::format_duration(lat.min()).c_str(),
+                sim::format_duration(lat.mean()).c_str(),
+                sim::format_duration(lat.max()).c_str());
   }
   std::printf(
       "\nExpected shape: the BKL row's worst case is orders of magnitude\n"
       "larger (sub-millisecond at default scale, multi-millisecond at\n"
       "--paper — \"several milliseconds of jitter\", §6.3), while the\n"
       "flagged driver stays in the tens of microseconds.\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

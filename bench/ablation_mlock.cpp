@@ -5,80 +5,43 @@
 // first accesses a page not resident in memory". This bench quantifies the
 // claim: the determinism loop with and without mlockall, on an otherwise
 // idle shielded CPU (so paging is the only jitter source) and under load.
+// The four cells are the registry's abl-mlock-* scenarios.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
-#include "config/platform.h"
-#include "metrics/report.h"
-#include "rt/determinism_test.h"
-#include "workload/disk_noise.h"
-#include "workload/scp_copy.h"
-
-using namespace sim::literals;
-
-namespace {
-
-struct Row {
-  double jitter_pct;
-  std::uint64_t faults;
-};
-
-Row run_case(bool mlocked, bool loaded, int iterations, std::uint64_t seed) {
-  config::Platform p(config::MachineConfig::dual_p4_xeon_1400(),
-                     config::KernelConfig::redhawk_1_4(), seed);
-  if (loaded) {
-    workload::ScpCopy{}.install(p);
-    workload::DiskNoise{}.install(p);
-  }
-  rt::DeterminismTest::Params dp;
-  dp.loop_work = 300_ms;
-  dp.iterations = iterations;
-  dp.affinity = hw::CpuMask::single(1);
-  rt::DeterminismTest test(p.kernel(), dp);
-  test.task().mlocked = mlocked;  // the knob under study
-  p.boot();
-  p.shield().shield_all(hw::CpuMask::single(1));
-  p.run_for(dp.loop_work * static_cast<sim::Duration>(iterations) * 3 + 10_s);
-  const double jitter =
-      100.0 * static_cast<double>(test.max_observed() - test.ideal()) /
-      static_cast<double>(test.ideal());
-  return Row{jitter, test.task().minor_faults};
-}
-
-}  // namespace
+#include "scenario_bench.h"
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const int iterations = static_cast<int>(opt.scaled(30));
 
-  bench::print_header("Ablation D: mlockall vs page-fault jitter (shielded CPU)");
-  std::printf("%d iterations of a 300 ms loop per case\n\n", iterations);
-  std::printf("  %-28s %10s %12s\n", "configuration", "jitter", "minor faults");
+  bench::print_header(
+      "Ablation D: mlockall vs page-fault jitter (shielded CPU)");
+  std::printf("%d iterations of a 300 ms loop per case\n\n",
+              static_cast<int>(opt.scaled(30)));
+  std::printf("  %-28s %10s %12s\n", "configuration", "jitter",
+              "minor faults");
   std::printf("  %s\n", std::string(54, '-').c_str());
 
-  struct Case {
-    const char* name;
-    bool mlocked;
-    bool loaded;
-  };
-  const Case cases[] = {
-      {"mlockall, idle system", true, false},
-      {"pageable, idle system", false, false},
-      {"mlockall, scp+disknoise", true, true},
-      {"pageable, scp+disknoise", false, true},
-  };
-  const auto rows = bench::SweepRunner{}.map<Row>(
-      std::size(cases), [&](std::size_t i) {
-        return run_case(cases[i].mlocked, cases[i].loaded, iterations,
-                        opt.seed + i);
-      });
-  for (std::size_t i = 0; i < std::size(cases); ++i) {
-    std::printf("  %-28s %9.3f%% %12llu\n", cases[i].name, rows[i].jitter_pct,
-                static_cast<unsigned long long>(rows[i].faults));
+  const auto specs = bench::specs_for(
+      {"abl-mlock-locked-idle", "abl-mlock-pageable-idle",
+       "abl-mlock-locked-loaded", "abl-mlock-pageable-loaded"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& pr = results[i].probe;
+    const double ideal = static_cast<double>(pr.ideal);
+    const double jitter =
+        ideal > 0
+            ? 100.0 * (pr.stats.at("max_observed_ns") - ideal) / ideal
+            : 0.0;
+    std::printf("  %-28s %9.3f%% %12llu\n", specs[i].title.c_str(), jitter,
+                static_cast<unsigned long long>(pr.stats.at("minor_faults")));
   }
   std::printf(
       "\nExpected shape: the pageable rows fault continuously and carry\n"
       "visibly more jitter; mlockall eliminates faults entirely (§5's\n"
       "prerequisite for every RT measurement in the paper).\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

@@ -3,95 +3,46 @@
 // The paper's /proc/shield interface controls processes, device interrupts
 // and the local timer independently (§3). This bench reruns the Fig-6
 // scenario (realfeel @2048 Hz under stress-kernel on RedHawk 1.4) with each
-// subset of shields enabled and reports the latency profile.
+// subset of shields enabled and reports the latency profile. The eight
+// subsets are the registry's abl-shield-* scenarios.
 #include <cstdio>
-#include <vector>
+#include <string>
 
 #include "bench_util.h"
-#include "config/platform.h"
 #include "metrics/report.h"
-#include "rt/realfeel_test.h"
-#include "workload/stress_kernel.h"
+#include "scenario_bench.h"
 
 using namespace sim::literals;
 
-namespace {
-
-struct Case {
-  const char* name;
-  bool procs;
-  bool irqs;
-  bool ltmr;
-};
-
-struct Row {
-  const char* name;
-  sim::Duration max;
-  sim::Duration p999;
-  double below_100us;
-};
-
-Row run_case(const Case& c, std::uint64_t samples, std::uint64_t seed) {
-  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
-                     config::KernelConfig::redhawk_1_4(), seed);
-  workload::StressKernel{}.install(p);
-
-  rt::RealfeelTest::Params rp;
-  rp.samples = samples;
-  rp.affinity = hw::CpuMask::single(1);
-  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
-
-  p.boot();
-  // RTC interrupt bound to CPU 1 in every case (the user intent).
-  p.kernel().procfs().write("/proc/irq/8/smp_affinity", "2");
-  auto& s = p.shield();
-  if (c.procs) s.set_process_shield(hw::CpuMask::single(1));
-  if (c.irqs) s.set_irq_shield(hw::CpuMask::single(1));
-  if (c.ltmr) s.set_ltmr_shield(hw::CpuMask::single(1));
-  test.start();
-
-  p.run_for(sim::from_seconds(static_cast<double>(samples) / 2048.0 * 2) + 5_s);
-  return Row{c.name, test.latencies().max(), test.latencies().percentile(0.999),
-             100.0 * test.latencies().fraction_below(100_us)};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const std::uint64_t samples = opt.scaled(400'000);
 
   bench::print_header(
       "Ablation A: shield components (Fig-6 scenario, RedHawk 1.4, "
       "realfeel on CPU 1)");
   std::printf("samples per case: %llu\n\n",
-              static_cast<unsigned long long>(samples));
+              static_cast<unsigned long long>(opt.scaled(400'000)));
 
-  const Case cases[] = {
-      {"no shield", false, false, false},
-      {"procs only", true, false, false},
-      {"irqs only", false, true, false},
-      {"ltmr only", false, false, true},
-      {"procs+irqs", true, true, false},
-      {"procs+ltmr", true, false, true},
-      {"irqs+ltmr", false, true, true},
-      {"procs+irqs+ltmr (full shield)", true, true, true},
-  };
+  const auto specs = bench::specs_for(
+      {"abl-shield-none", "abl-shield-procs", "abl-shield-irqs",
+       "abl-shield-ltmr", "abl-shield-procs-irqs", "abl-shield-procs-ltmr",
+       "abl-shield-irqs-ltmr", "abl-shield-full"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
 
   std::printf("  %-32s %12s %12s %12s\n", "configuration", "max", "p99.9",
               "<0.1ms");
   std::printf("  %s\n", std::string(72, '-').c_str());
-  const auto rows = bench::SweepRunner{}.map<Row>(
-      std::size(cases),
-      [&](std::size_t i) { return run_case(cases[i], samples, opt.seed); });
-  for (const Row& r : rows) {
-    std::printf("  %-32s %12s %12s %10.4f%%\n", r.name,
-                sim::format_duration(r.max).c_str(),
-                sim::format_duration(r.p999).c_str(), r.below_100us);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& lat = results[i].probe.primary;
+    std::printf("  %-32s %12s %12s %10.4f%%\n", specs[i].title.c_str(),
+                sim::format_duration(lat.max()).c_str(),
+                sim::format_duration(lat.percentile(0.999)).c_str(),
+                100.0 * lat.fraction_below(100_us));
   }
   std::printf(
       "\nExpected shape: each component removes a jitter source; the full\n"
       "shield (paper Fig 6) is the only configuration with a sub-millisecond\n"
       "worst case under load.\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

@@ -1,18 +1,13 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <exception>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "config/sweep_runner.h"
 #include "sim/time.h"
 
 namespace bench {
@@ -24,6 +19,8 @@ struct Options {
   std::uint64_t seed = 2003;
   double scale = 1.0;  ///< multiplies sample counts / durations
   bool paper = false;
+  /// Worker threads for config sweeps (0 = all hardware threads).
+  unsigned jobs = 0;
   /// Enable the latency-chain tracer and print each case's worst-sample
   /// decomposition after the regular figure output. Off by default: the
   /// default output stays byte-identical with the tracer disabled.
@@ -33,33 +30,58 @@ struct Options {
   /// --trace. Consumed by tools/trace_report.py.
   std::string trace_json;
 
+  static void usage(const char* argv0, std::FILE* to) {
+    std::fprintf(
+        to,
+        "usage: %s [--paper] [--seed N] [--scale X] [--jobs N] [--trace]"
+        " [--trace-json FILE]\n"
+        "  --paper           run at ~10x the default sample counts\n"
+        "  --seed N          RNG seed (default 2003)\n"
+        "  --scale X         multiply sample counts by X\n"
+        "  --jobs N          sweep worker threads (default: all cores)\n"
+        "  --trace           decompose worst-case samples into kernel-path"
+        " segments\n"
+        "  --trace-json FILE also write the latency report as JSON\n",
+        argv0);
+  }
+
+  /// Parse the shared flags. Unknown arguments are an error: a typo like
+  /// `--sedd 7` must not silently run the default configuration.
   static Options parse(int argc, char** argv) {
     Options o;
+    const auto need_value = [&](int i) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: missing value for %s\n", argv[0], argv[i]);
+        usage(argv[0], stderr);
+        std::exit(2);
+      }
+    };
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--paper") == 0) {
         o.paper = true;
         o.scale = 10.0;
-      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        need_value(i);
         o.seed = std::strtoull(argv[++i], nullptr, 10);
-      } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      } else if (std::strcmp(argv[i], "--scale") == 0) {
+        need_value(i);
         o.scale = std::strtod(argv[++i], nullptr);
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        need_value(i);
+        o.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
       } else if (std::strcmp(argv[i], "--trace") == 0) {
         o.trace = true;
-      } else if (std::strcmp(argv[i], "--trace-json") == 0 && i + 1 < argc) {
+      } else if (std::strcmp(argv[i], "--trace-json") == 0) {
+        need_value(i);
         o.trace_json = argv[++i];
         o.trace = true;
       } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "usage: %s [--paper] [--seed N] [--scale X] [--trace]"
-            " [--trace-json FILE]\n"
-            "  --paper           run at ~10x the default sample counts\n"
-            "  --seed N          RNG seed (default 2003)\n"
-            "  --scale X         multiply sample counts by X\n"
-            "  --trace           decompose worst-case samples into kernel-path"
-            " segments\n"
-            "  --trace-json FILE also write the latency report as JSON\n",
-            argv[0]);
+        usage(argv[0], stdout);
         std::exit(0);
+      } else {
+        std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+        usage(argv[0], stderr);
+        std::exit(2);
       }
     }
     return o;
@@ -71,64 +93,6 @@ struct Options {
   }
 };
 
-/// Runs the independent cases of a config sweep across all hardware
-/// threads. Each case builds its own Platform (engine, kernel, devices,
-/// RNG streams) from its own seed, so workers share no mutable state and
-/// the per-case results are identical to a serial run; only wall-clock
-/// changes. Results come back in case order — print them serially after.
-class SweepRunner {
- public:
-  explicit SweepRunner(unsigned workers = 0)
-      : workers_(workers != 0
-                     ? workers
-                     : std::max(1u, std::thread::hardware_concurrency())) {}
-
-  [[nodiscard]] unsigned workers() const { return workers_; }
-
-  /// Invoke `fn(i)` for every i in [0, n), spread over the workers, and
-  /// return the results in index order. `fn` must be self-contained: one
-  /// engine per case, no shared mutable state, no printing. If a case
-  /// throws, the sweep stops claiming new cases and the first exception is
-  /// rethrown here after all workers have joined (an exception escaping a
-  /// plain thread would have called std::terminate).
-  template <typename T, typename Fn>
-  std::vector<T> map(std::size_t n, Fn fn) const {
-    std::vector<T> results(n);
-    const auto workers = static_cast<unsigned>(
-        std::min<std::size_t>(workers_, n));
-    if (workers <= 1) {
-      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
-      return results;
-    }
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mutex;
-    const auto drain = [&] {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        try {
-          results[i] = fn(i);
-        } catch (...) {
-          const std::scoped_lock hold(error_mutex);
-          if (!error) error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain);
-    for (auto& t : pool) t.join();
-    if (error) std::rethrow_exception(error);
-    return results;
-  }
-
- private:
-  unsigned workers_;
-};
-
 inline void print_header(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
@@ -138,5 +102,11 @@ inline void print_header(const std::string& title) {
 inline void print_subheader(const std::string& title) {
   std::printf("\n---- %s ----\n", title.c_str());
 }
+
+/// Exit-code policy shared by the benches: a bench whose cases did not all
+/// finish inside their horizons exits nonzero so CI cannot mistake a
+/// truncated run for a clean one. Warnings are printed where the bench's
+/// historical output format had them; this only turns them into a status.
+inline int exit_code(bool all_complete) { return all_complete ? 0 : 1; }
 
 }  // namespace bench

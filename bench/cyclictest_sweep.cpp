@@ -5,84 +5,40 @@
 // Complements the paper's device-interrupt measurements: here no device is
 // involved — the jitter is pure timer + scheduler + preemption behaviour,
 // the quantity cyclictest made the community standard years later.
+// The kernel ladder is the registry's cyclic-* scenarios.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
-#include "config/platform.h"
 #include "metrics/report.h"
-#include "rt/cyclictest.h"
-#include "workload/hackbench.h"
-#include "workload/stress_kernel.h"
-
-using namespace sim::literals;
-
-namespace {
-
-struct Row {
-  sim::Duration min;
-  sim::Duration avg;
-  sim::Duration max;
-  std::uint64_t cycles;
-};
-
-Row run_case(const config::KernelConfig& kcfg, bool shield,
-             std::uint64_t cycles, std::uint64_t seed) {
-  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
-  workload::StressKernel{}.install(p);
-  workload::Hackbench{}.install(p);
-
-  rt::CyclicTest::Params cp;
-  cp.period = 1_ms;
-  cp.cycles = cycles;
-  if (shield) cp.affinity = hw::CpuMask::single(1);
-  rt::CyclicTest test(p.kernel(), cp);
-
-  p.boot();
-  if (shield) p.shield().shield_all(hw::CpuMask::single(1));
-  test.start();
-  p.run_for(sim::from_seconds(static_cast<double>(cycles) / 1000.0 * 2) + 5_s);
-  return Row{test.latencies().min(), test.latencies().mean(),
-             test.latencies().max(), test.collected()};
-}
-
-}  // namespace
+#include "scenario_bench.h"
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const std::uint64_t cycles = opt.scaled(200'000);
 
   bench::print_header(
       "cyclictest: 1 kHz periodic wakeup latency under stress-kernel + "
       "hackbench");
   std::printf("cycles per case: %llu\n\n",
-              static_cast<unsigned long long>(cycles));
-  std::printf("  %-38s %10s %10s %12s %10s\n", "configuration", "min",
-              "avg", "max", "cycles");
+              static_cast<unsigned long long>(opt.scaled(200'000)));
+  std::printf("  %-38s %10s %10s %12s %10s\n", "configuration", "min", "avg",
+              "max", "cycles");
   std::printf("  %s\n", std::string(84, '-').c_str());
 
-  struct Case {
-    const char* name;
-    config::KernelConfig cfg;
-    bool shield;
-  };
-  const Case cases[] = {
-      {"kernel.org 2.4.20", config::KernelConfig::vanilla_2_4_20(), false},
-      {"2.4 + preempt + low-latency", config::KernelConfig::patched_preempt_lowlat(),
-       false},
-      {"RedHawk 1.4, unshielded", config::KernelConfig::redhawk_1_4(), false},
-      {"RedHawk 1.4, shielded CPU", config::KernelConfig::redhawk_1_4(), true},
-  };
-  const auto rows = bench::SweepRunner{}.map<Row>(
-      std::size(cases), [&](std::size_t i) {
-        return run_case(cases[i].cfg, cases[i].shield, cycles, opt.seed + i);
-      });
-  for (std::size_t i = 0; i < std::size(cases); ++i) {
-    const Row& r = rows[i];
-    std::printf("  %-38s %10s %10s %12s %10llu\n", cases[i].name,
-                sim::format_duration(r.min).c_str(),
-                sim::format_duration(r.avg).c_str(),
-                sim::format_duration(r.max).c_str(),
-                static_cast<unsigned long long>(r.cycles));
+  const auto specs = bench::specs_for({"cyclic-vanilla",
+                                       "cyclic-preempt-lowlat",
+                                       "cyclic-redhawk",
+                                       "cyclic-redhawk-shielded"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& lat = results[i].probe.primary;
+    std::printf("  %-38s %10s %10s %12s %10llu\n", specs[i].title.c_str(),
+                sim::format_duration(lat.min()).c_str(),
+                sim::format_duration(lat.mean()).c_str(),
+                sim::format_duration(lat.max()).c_str(),
+                static_cast<unsigned long long>(results[i].probe.collected));
   }
   std::printf(
       "\nExpected shape: same ladder as the interrupt-response figures —\n"
@@ -90,5 +46,5 @@ int main(int argc, char** argv) {
       "timer wakeups cross the same preemption obstacles as device ones.\n"
       "(2.4 rows collect fewer cycles in the same horizon: their 1 ms\n"
       "period is jiffy-quantized up to 10 ms.)\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

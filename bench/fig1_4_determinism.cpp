@@ -6,104 +6,37 @@
 //  Fig 3: RedHawk 1.4, unshielded CPU           — paper: 14.82% jitter
 //  Fig 4: kernel.org 2.4.20, hyperthreading off — paper: 13.15% jitter
 //
-// Jitter = (worst loop time - ideal loop time) / ideal.
+// Jitter = (worst loop time - ideal loop time) / ideal. The four scenarios
+// live in the registry as fig1..fig4; this binary only renders them.
 #include <cstdio>
-#include <optional>
 
 #include "bench_util.h"
-#include "config/platform.h"
-#include "metrics/report.h"
-#include "rt/determinism_test.h"
-#include "workload/disk_noise.h"
-#include "workload/scp_copy.h"
-
-using namespace sim::literals;
-
-namespace {
-
-struct CaseResult {
-  std::string title;
-  sim::Duration ideal;
-  sim::Duration max;
-};
-
-CaseResult run_case(const std::string& title, const config::KernelConfig& kcfg,
-                    std::optional<bool> ht_override, bool shield_cpu,
-                    int iterations, std::uint64_t seed) {
-  bench::print_subheader(title);
-
-  config::Platform p(config::MachineConfig::dual_p4_xeon_1400(), kcfg, seed,
-                     ht_override);
-  workload::ScpCopy{}.install(p);
-  workload::DiskNoise{}.install(p);
-
-  rt::DeterminismTest::Params dp;
-  dp.iterations = iterations;
-  if (shield_cpu) dp.affinity = hw::CpuMask::single(1);
-  rt::DeterminismTest test(p.kernel(), dp);
-
-  p.boot();
-  if (shield_cpu) {
-    // Shield CPU 1 from processes, interrupts and the local timer; the
-    // test task explicitly opted onto it via its affinity.
-    p.shield().shield_all(hw::CpuMask::single(1));
-  }
-
-  const sim::Duration horizon =
-      dp.loop_work * static_cast<sim::Duration>(iterations) * 2 + 10_s;
-  p.run_for(horizon);
-
-  if (!test.done()) {
-    std::printf("WARNING: only %zu/%d iterations finished\n",
-                test.samples().size(), iterations);
-  }
-  std::printf("(%d logical CPUs, %s)\n", p.topology().logical_cpus(),
-              p.topology().hyperthreading() ? "hyperthreading on"
-                                            : "hyperthreading off");
-  const sim::Duration max = test.max_observed();
-  std::fputs(metrics::determinism_legend(test.ideal(), max).c_str(), stdout);
-  std::fputs("\n", stdout);
-  std::fputs(metrics::ascii_histogram(test.excess_histogram(), 50, 8).c_str(),
-             stdout);
-  return CaseResult{title, test.ideal(), max};
-}
-
-}  // namespace
+#include "scenario_bench.h"
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const int iterations = static_cast<int>(opt.scaled(60));
 
   bench::print_header(
       "Figures 1-4: execution determinism (sine loop, scp + disknoise load)");
   std::printf("iterations per configuration: %d (loop ideal 1.150 s)\n",
-              iterations);
+              static_cast<int>(opt.scaled(60)));
 
-  std::vector<CaseResult> results;
-  results.push_back(run_case("Figure 1: kernel.org 2.4.20 (hyperthreading)",
-                             config::KernelConfig::vanilla_2_4_20(),
-                             std::nullopt, /*shield=*/false, iterations,
-                             opt.seed));
-  results.push_back(run_case("Figure 2: RedHawk 1.4, shielded CPU",
-                             config::KernelConfig::redhawk_1_4(), std::nullopt,
-                             /*shield=*/true, iterations, opt.seed + 1));
-  results.push_back(run_case("Figure 3: RedHawk 1.4, unshielded CPU",
-                             config::KernelConfig::redhawk_1_4(), std::nullopt,
-                             /*shield=*/false, iterations, opt.seed + 2));
-  results.push_back(run_case("Figure 4: kernel.org 2.4.20 (no hyperthreading)",
-                             config::KernelConfig::vanilla_2_4_20(),
-                             /*ht=*/false, /*shield=*/false, iterations,
-                             opt.seed + 3));
+  const auto specs = bench::specs_for({"fig1", "fig2", "fig3", "fig4"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    std::fputs(results[i].render(specs[i]).c_str(), stdout);
+  }
 
   bench::print_subheader("summary (paper reference in parentheses)");
-  const double paper[] = {26.17, 1.87, 14.82, 13.15};
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    const double jit = 100.0 *
-                       static_cast<double>(r.max - r.ideal) /
-                       static_cast<double>(r.ideal);
-    std::printf("  %-48s jitter %6.2f%%  (paper: %5.2f%%)\n", r.title.c_str(),
-                jit, paper[i]);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& pr = results[i].probe;
+    const double ideal = static_cast<double>(pr.ideal);
+    const double max = pr.stats.at("max_observed_ns");
+    const double jit = ideal > 0 ? 100.0 * (max - ideal) / ideal : 0.0;
+    std::printf("  %-48s jitter %6.2f%%  (paper: %s)\n",
+                specs[i].title.c_str(), jit, specs[i].paper_ref.c_str());
   }
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

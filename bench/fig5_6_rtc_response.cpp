@@ -9,78 +9,56 @@
 // The paper ran 60,000,000 samples (~8 h at 2048 Hz); the default here is
 // smaller for runtime, with the contended-lock probability documented in
 // DESIGN.md calibrated for this scale. Use --paper for longer runs.
+//
+// The scenarios are registry entries fig5/fig6; --trace re-runs them with
+// runner hooks (which bypass the result cache) to capture the worst-sample
+// latency chain.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "config/platform.h"
 #include "kernel/trace_export.h"
-#include "metrics/report.h"
-#include "rt/realfeel_test.h"
-#include "workload/stress_kernel.h"
-
-using namespace sim::literals;
+#include "scenario_bench.h"
+#include "sim/rng.h"
 
 namespace {
 
-void run_case(const std::string& title, const config::KernelConfig& kcfg,
-              bool shield_cpu1, std::uint64_t samples,
-              const bench::Options& opt, std::uint64_t seed,
-              const std::string& tag) {
-  bench::print_subheader(title);
+struct TraceCapture {
+  std::string text;    ///< worst-sample decomposition, ready to print
+  std::string report;  ///< latency_report_json payload (may be empty)
+};
 
-  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
-  workload::StressKernel{}.install(p);
-  if (opt.trace) p.engine().chain_tracer().enable();
-
-  rt::RealfeelTest::Params rp;
-  rp.rate_hz = 2048;
-  rp.samples = samples;
-  if (shield_cpu1) rp.affinity = hw::CpuMask::single(1);
-  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
-
-  p.boot();
-  if (shield_cpu1) {
-    p.shield().dedicate_cpu(1, test.task(), p.rtc_device().irq());
-  }
-  test.start();
-
-  // 2048 Hz → samples/2048 seconds of simulated time, plus margin.
-  const sim::Duration horizon =
-      sim::from_seconds(static_cast<double>(samples) / 2048.0 * 1.5) + 5_s;
-  p.run_for(horizon);
-
-  if (!test.done()) {
-    std::printf("WARNING: only %llu/%llu samples collected\n",
-                static_cast<unsigned long long>(test.collected()),
-                static_cast<unsigned long long>(samples));
-  }
-  const auto thresholds = metrics::figure5_thresholds();
-  std::fputs(metrics::cumulative_bucket_table(test.latencies(), thresholds)
-                 .c_str(),
-             stdout);
-  std::fputs(metrics::ascii_histogram(test.latencies()).c_str(), stdout);
-
-  if (opt.trace) {
-    if (test.worst_chain()) {
-      std::printf("\nworst-sample decomposition:\n%s",
-                  test.worst_chain()->format().c_str());
+config::ScenarioRunner::Hooks trace_hooks(const std::string& title,
+                                          TraceCapture& out) {
+  config::ScenarioRunner::Hooks hooks;
+  hooks.configured = [](config::Platform& p) {
+    p.engine().chain_tracer().enable();
+  };
+  hooks.finished = [&out, title](config::Platform& p, rt::Probe& probe) {
+    if (probe.worst_chain()) {
+      out.text = "\nworst-sample decomposition:\n" +
+                 probe.worst_chain()->format();
     } else {
-      std::printf("\nworst-sample decomposition: no chain captured\n");
+      out.text = "\nworst-sample decomposition: no chain captured\n";
     }
-    if (!opt.trace_json.empty()) {
-      std::vector<kernel::NamedChain> chains;
-      if (test.worst_chain()) {
-        chains.push_back(kernel::NamedChain{title, *test.worst_chain()});
-      }
-      const std::string path = opt.trace_json + "." + tag + ".json";
-      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-        std::fputs(kernel::latency_report_json(p.kernel(), chains).c_str(), f);
-        std::fclose(f);
-        std::printf("latency report written to %s\n", path.c_str());
-      } else {
-        std::fprintf(stderr, "cannot write %s\n", path.c_str());
-      }
+    std::vector<kernel::NamedChain> chains;
+    if (probe.worst_chain()) {
+      chains.push_back(kernel::NamedChain{title, *probe.worst_chain()});
     }
+    out.report = kernel::latency_report_json(p.kernel(), chains);
+  };
+  return hooks;
+}
+
+void write_report(const TraceCapture& cap, const std::string& path) {
+  if (path.empty()) return;
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(cap.report.c_str(), f);
+    std::fclose(f);
+    std::printf("latency report written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
   }
 }
 
@@ -96,16 +74,34 @@ int main(int argc, char** argv) {
   std::printf("samples per configuration: %llu (paper: 60,000,000)\n",
               static_cast<unsigned long long>(samples));
 
-  run_case("Figure 5: kernel.org 2.4.20",
-           config::KernelConfig::vanilla_2_4_20(),
-           /*shield_cpu1=*/false, samples, opt, opt.seed, "fig5");
+  const auto specs = bench::specs_for({"fig5", "fig6"});
+  auto runner = bench::make_runner(opt);
 
-  run_case("Figure 6: RedHawk 1.4, CPU 1 shielded (procs+irqs+ltmr)",
-           config::KernelConfig::redhawk_1_4(),
-           /*shield_cpu1=*/true, samples, opt, opt.seed + 1, "fig6");
+  std::vector<config::ScenarioResult> results;
+  if (opt.trace) {
+    // Hooks need live Platform/Probe state, so trace runs are serial and
+    // uncached; the default path below stays parallel.
+    const char* tags[] = {"fig5", "fig6"};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      TraceCapture cap;
+      results.push_back(runner.run(specs[i],
+                                   sim::derive_seed(opt.seed, specs[i].name),
+                                   trace_hooks(specs[i].title, cap)));
+      std::fputs(results[i].render(specs[i]).c_str(), stdout);
+      std::fputs(cap.text.c_str(), stdout);
+      if (!opt.trace_json.empty()) {
+        write_report(cap, opt.trace_json + "." + tags[i] + ".json");
+      }
+    }
+  } else {
+    results = runner.run_batch(specs, opt.seed);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      std::fputs(results[i].render(specs[i]).c_str(), stdout);
+    }
+  }
 
   std::printf(
       "\nPaper reference: Fig5 max 92.3 ms (99.140%% < 0.1 ms); "
       "Fig6 max 0.565 ms (99.99989%% < 0.1 ms)\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

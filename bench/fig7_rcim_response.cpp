@@ -7,16 +7,16 @@
 // no BKL is taken (the kernel change described in §6.3).
 //
 // Paper: min 11 us, avg 11.3 us, max 27 us over 10,000,000 interrupts.
+// The scenario is the registry entry fig7; this binary renders it.
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "bench_util.h"
-#include "config/platform.h"
 #include "kernel/trace_export.h"
 #include "metrics/report.h"
-#include "rt/rcim_test.h"
-#include "workload/stress_kernel.h"
-#include "workload/ttcp.h"
-#include "workload/x11perf.h"
+#include "scenario_bench.h"
+#include "sim/rng.h"
 
 using namespace sim::literals;
 
@@ -30,58 +30,56 @@ int main(int argc, char** argv) {
   std::printf("samples: %llu (paper: 10,000,000)\n",
               static_cast<unsigned long long>(samples));
 
-  config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
-                     config::KernelConfig::redhawk_1_4(), opt.seed);
-  workload::StressKernel{}.install(p);
-  if (opt.trace) p.engine().chain_tracer().enable();
-  workload::X11Perf{}.install(p);
-  workload::TtcpEthernet{}.install(p);
+  const auto specs = bench::specs_for({"fig7"});
+  auto runner = bench::make_runner(opt);
 
-  rt::RcimTest::Params rp;
-  rp.count = 2'500;  // 1 ms period at the RCIM's 400 ns tick
-  rp.samples = samples;
-  rp.affinity = hw::CpuMask::single(1);
-  rt::RcimTest test(p.kernel(), p.rcim_driver(), rp);
-
-  p.boot();
-  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
-  test.start();
-
-  const sim::Duration horizon =
-      sim::from_seconds(static_cast<double>(samples) / 1000.0 * 1.5) + 5_s;
-  p.run_for(horizon);
-
-  if (!test.done()) {
-    std::printf("WARNING: only %llu/%llu samples collected\n",
-                static_cast<unsigned long long>(test.collected()),
-                static_cast<unsigned long long>(samples));
+  std::string trace_text;
+  std::string trace_report;
+  config::ScenarioRunner::Hooks hooks;
+  if (opt.trace) {
+    hooks.configured = [](config::Platform& p) {
+      p.engine().chain_tracer().enable();
+    };
+    hooks.finished = [&](config::Platform& p, rt::Probe& probe) {
+      if (probe.worst_chain()) {
+        trace_text = "\nworst-sample decomposition:\n" +
+                     probe.worst_chain()->format();
+      } else {
+        trace_text = "\nworst-sample decomposition: no chain captured\n";
+      }
+      std::vector<kernel::NamedChain> chains;
+      if (probe.worst_chain()) {
+        chains.push_back(kernel::NamedChain{"Figure 7: RCIM shielded",
+                                            *probe.worst_chain()});
+      }
+      trace_report = kernel::latency_report_json(p.kernel(), chains);
+    };
   }
 
-  std::fputs(metrics::min_avg_max_line(test.latencies()).c_str(), stdout);
+  const auto r =
+      runner.run(specs[0], sim::derive_seed(opt.seed, specs[0].name), hooks);
+
+  if (!r.probe.complete) {
+    std::printf("WARNING: only %llu/%llu samples collected\n",
+                static_cast<unsigned long long>(r.probe.collected),
+                static_cast<unsigned long long>(r.probe.expected));
+  }
+  std::fputs(metrics::min_avg_max_line(r.probe.primary).c_str(), stdout);
   std::printf("overruns (period missed entirely): %llu\n",
-              static_cast<unsigned long long>(test.overruns()));
-  const sim::Duration edges[] = {10_us, 15_us, 20_us, 25_us, 30_us, 50_us, 100_us};
-  std::fputs(metrics::cumulative_bucket_table(test.latencies(),
-                                              std::span(edges))
-                 .c_str(),
-             stdout);
-  std::fputs(metrics::ascii_histogram(test.latencies()).c_str(), stdout);
+              static_cast<unsigned long long>(r.probe.stats.at("overruns")));
+  const sim::Duration edges[] = {10_us, 15_us, 20_us, 25_us,
+                                 30_us, 50_us, 100_us};
+  std::fputs(
+      metrics::cumulative_bucket_table(r.probe.primary, std::span(edges))
+          .c_str(),
+      stdout);
+  std::fputs(metrics::ascii_histogram(r.probe.primary).c_str(), stdout);
 
   if (opt.trace) {
-    if (test.worst_chain()) {
-      std::printf("\nworst-sample decomposition:\n%s",
-                  test.worst_chain()->format().c_str());
-    } else {
-      std::printf("\nworst-sample decomposition: no chain captured\n");
-    }
+    std::fputs(trace_text.c_str(), stdout);
     if (!opt.trace_json.empty()) {
-      std::vector<kernel::NamedChain> chains;
-      if (test.worst_chain()) {
-        chains.push_back(
-            kernel::NamedChain{"Figure 7: RCIM shielded", *test.worst_chain()});
-      }
       if (std::FILE* f = std::fopen(opt.trace_json.c_str(), "w")) {
-        std::fputs(kernel::latency_report_json(p.kernel(), chains).c_str(), f);
+        std::fputs(trace_report.c_str(), f);
         std::fclose(f);
         std::printf("latency report written to %s\n", opt.trace_json.c_str());
       } else {
@@ -93,5 +91,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper reference: min 11 us / avg 11.3 us / max 27 us; "
       "all 10,000,000 samples < 0.03 ms\n");
-  return 0;
+  return bench::exit_code(r.probe.complete);
 }

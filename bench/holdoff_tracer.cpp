@@ -5,41 +5,14 @@
 // (Morton's tracer; Williams' study [5]) and the quantity §6 argues bounds
 // worst-case response: "the worst-case time to respond to an interrupt is
 // going to be at least as long as the worst-case time that preemption is
-// disabled in the kernel."
+// disabled in the kernel." The kernel ladder is the registry's holdoff-*
+// scenarios.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.h"
-#include "config/platform.h"
 #include "metrics/report.h"
-#include "workload/stress_kernel.h"
-
-using namespace sim::literals;
-
-namespace {
-
-struct Row {
-  sim::Duration worst_irq_off;
-  sim::Duration worst_preempt_off;
-  sim::Duration p999_preempt_off;
-};
-
-Row run_case(const config::KernelConfig& kcfg, sim::Duration run_time,
-             std::uint64_t seed) {
-  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
-  workload::StressKernel{}.install(p);
-  p.boot();
-  p.run_for(run_time);
-  auto& a = p.kernel().auditor();
-  metrics::LatencyHistogram all_preempt_off;
-  for (int c = 0; c < p.kernel().ncpus(); ++c) {
-    all_preempt_off.merge(a.preempt_off(c));
-  }
-  return Row{a.worst_irq_off(), a.worst_preempt_off(),
-             all_preempt_off.count() > 0 ? all_preempt_off.percentile(0.999)
-                                         : 0};
-}
-
-}  // namespace
+#include "scenario_bench.h"
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
@@ -53,22 +26,24 @@ int main(int argc, char** argv) {
               "worst preempt-off", "p99.9 preempt-off");
   std::printf("  %s\n", std::string(80, '-').c_str());
 
-  struct Case {
-    const char* name;
-    config::KernelConfig cfg;
-  };
-  const Case cases[] = {
-      {"kernel.org 2.4.20", config::KernelConfig::vanilla_2_4_20()},
-      {"2.4 + preempt + low-latency", config::KernelConfig::patched_preempt_lowlat()},
-      {"RedHawk 1.4", config::KernelConfig::redhawk_1_4()},
-  };
-  std::uint64_t seed = opt.seed;
-  for (const auto& c : cases) {
-    const Row r = run_case(c.cfg, run_time, seed++);
-    std::printf("  %-30s %14s %16s %16s\n", c.name,
-                sim::format_duration(r.worst_irq_off).c_str(),
-                sim::format_duration(r.worst_preempt_off).c_str(),
-                sim::format_duration(r.p999_preempt_off).c_str());
+  const auto specs = bench::specs_for(
+      {"holdoff-vanilla", "holdoff-preempt-lowlat", "holdoff-redhawk"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& pr = results[i].probe;
+    const sim::Duration p999 =
+        pr.primary.count() > 0 ? pr.primary.percentile(0.999) : 0;
+    std::printf(
+        "  %-30s %14s %16s %16s\n", specs[i].title.c_str(),
+        sim::format_duration(
+            static_cast<sim::Duration>(pr.stats.at("worst_irq_off_ns")))
+            .c_str(),
+        sim::format_duration(
+            static_cast<sim::Duration>(pr.stats.at("worst_preempt_off_ns")))
+            .c_str(),
+        sim::format_duration(p999).c_str());
   }
   std::printf(
       "\nExpected shape: vanilla's preempt-off tail reaches tens of ms (its\n"
@@ -77,5 +52,5 @@ int main(int argc, char** argv) {
       "are brief; it is the preempt-off tail that the patches attack.\n"
       "Note: on the unpatched kernel the whole syscall is non-preemptible,\n"
       "so its effective holdoff is even larger than the section tail shown.\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

@@ -1,75 +1,22 @@
 // The POSIX-timers patch (§4): periodic-wakeup quality without a device.
 //
-// A 100 Hz SCHED_FIFO task sleeps on a kernel periodic timer. On stock 2.4
+// A SCHED_FIFO task sleeps on a kernel periodic timer. On stock 2.4
 // (HZ=100, jiffy timer wheel) expirations quantize to 10 ms boundaries and
 // the achievable period floor is a whole jiffy; with the high-res POSIX
 // timers patch the timer fires where it was asked. The table reports the
-// inter-wakeup error distribution for several requested periods.
+// inter-wakeup error distribution for several requested periods — the
+// registry's timer-gap-* scenarios.
 #include <cstdio>
-#include <memory>
+#include <string>
 
 #include "bench_util.h"
-#include "config/platform.h"
-#include "metrics/histogram.h"
 #include "metrics/report.h"
-#include "workload/workload.h"
+#include "scenario_bench.h"
 
 using namespace sim::literals;
 
-namespace {
-
-struct Row {
-  sim::Duration avg_err;
-  sim::Duration max_err;
-  std::uint64_t wakeups;
-};
-
-Row run_case(const config::KernelConfig& kcfg, sim::Duration period,
-             sim::Duration run_time, std::uint64_t seed) {
-  config::Platform p(config::MachineConfig::dual_p3_xeon_933(), kcfg, seed);
-  auto& k = p.kernel();
-  const auto wq = k.create_wait_queue("periodic");
-
-  struct State {
-    metrics::LatencyHistogram err;
-    sim::Time prev = 0;
-    bool have_prev = false;
-  };
-  auto st = std::make_shared<State>();
-
-  kernel::Kernel::TaskParams tp;
-  tp.name = "periodic";
-  tp.policy = kernel::SchedPolicy::kFifo;
-  tp.rt_priority = 90;
-  tp.mlocked = true;
-  workload::spawn(k, std::move(tp),
-                  [st, wq, period](kernel::Kernel& kk,
-                                   kernel::Task&) -> kernel::Action {
-                    const sim::Time now = kk.now();
-                    if (st->have_prev) {
-                      const sim::Duration gap = now - st->prev;
-                      st->err.add(gap > period ? gap - period
-                                               : period - gap);
-                    }
-                    st->prev = now;
-                    st->have_prev = true;
-                    return kernel::SyscallAction{
-                        "timer_wait",
-                        kernel::ProgramBuilder{}.block(wq).build()};
-                  });
-
-  p.boot();
-  k.arm_periodic_timer(wq, period);
-  p.run_for(run_time);
-  return Row{st->err.mean(), st->err.max(), st->err.count()};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const auto run_time =
-      static_cast<sim::Duration>(30.0e9 * opt.scale);  // 30 s default
 
   bench::print_header(
       "POSIX timers patch: periodic wakeup error, stock jiffy wheel vs "
@@ -77,29 +24,29 @@ int main(int argc, char** argv) {
   std::printf("  %-12s %-22s %12s %12s %10s\n", "period", "kernel",
               "avg |error|", "max |error|", "wakeups");
   std::printf("  %s\n", std::string(74, '-').c_str());
+
+  // Per period: jiffy wheel first, then high-res.
+  const auto specs = bench::specs_for(
+      {"timer-gap-3ms-jiffy", "timer-gap-3ms-hires", "timer-gap-7ms-jiffy",
+       "timer-gap-7ms-hires", "timer-gap-10ms-jiffy", "timer-gap-10ms-hires",
+       "timer-gap-25ms-jiffy", "timer-gap-25ms-hires"});
+  auto runner = bench::make_runner(opt);
+  const auto results = runner.run_batch(specs, opt.seed);
+
   const sim::Duration periods[] = {3_ms, 7_ms, 10_ms, 25_ms};
-  // Case order (and so seed assignment) matches the old serial loop:
-  // per period, jiffy wheel first, then high-res.
-  const auto rows = bench::SweepRunner{}.map<Row>(
-      2 * std::size(periods), [&](std::size_t i) {
-        const bool hi_res = i % 2 == 1;
-        const auto& cfg = hi_res ? config::KernelConfig::redhawk_1_4()
-                                 : config::KernelConfig::vanilla_2_4_20();
-        return run_case(cfg, periods[i / 2], run_time, opt.seed + i);
-      });
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& err = results[i].probe.primary;
     std::printf("  %-12s %-22s %12s %12s %10llu\n",
                 sim::format_duration(periods[i / 2]).c_str(),
                 i % 2 == 1 ? "RedHawk (high-res)" : "2.4.20 (jiffy wheel)",
-                sim::format_duration(r.avg_err).c_str(),
-                sim::format_duration(r.max_err).c_str(),
-                static_cast<unsigned long long>(r.wakeups));
+                sim::format_duration(err.mean()).c_str(),
+                sim::format_duration(err.max()).c_str(),
+                static_cast<unsigned long long>(err.count()));
   }
   std::printf(
       "\nExpected shape: the jiffy wheel turns every requested period into\n"
       "ceil(period, 10 ms) with millisecond-scale error; the high-res\n"
       "kernel's error is the wake-path cost (microseconds), independent of\n"
       "period — the reason the POSIX timers patch is part of RedHawk (§4).\n");
-  return 0;
+  return bench::exit_code(bench::all_complete(results));
 }

@@ -1,199 +1,510 @@
 #include "config/experiment.h"
 
-#include <sstream>
-
-#include "metrics/report.h"
-#include "rt/determinism_test.h"
-#include "rt/rcim_test.h"
-#include "rt/realfeel_test.h"
-#include "workload/disk_noise.h"
-#include "workload/scp_copy.h"
-#include "workload/stress_kernel.h"
-#include "workload/ttcp.h"
-#include "workload/x11perf.h"
+#include <stdexcept>
+#include <utility>
 
 namespace config {
-
-using namespace sim::literals;
-
-std::string ExperimentResult::render() const {
-  std::ostringstream os;
-  os << "== " << name << " ==\n" << description << "\n";
-  if (latencies.count() == 0) {
-    os << "(no samples)\n";
-    return os.str();
-  }
-  if (ideal > 0) {
-    os << metrics::determinism_legend(ideal, ideal + latencies.max()) << "\n";
-  } else {
-    const auto thresholds = metrics::figure5_thresholds();
-    os << metric_name << ":\n"
-       << metrics::cumulative_bucket_table(latencies, thresholds);
-  }
-  os << metrics::ascii_histogram(latencies, 50, 8);
-  return os.str();
-}
-
 namespace {
 
-ExperimentResult run_determinism(const std::string& name,
-                                 const std::string& desc,
-                                 const KernelConfig& kcfg,
-                                 std::optional<bool> ht, bool shield,
-                                 std::uint64_t seed, double scale) {
-  Platform p(MachineConfig::dual_p4_xeon_1400(), kcfg, seed, ht);
-  workload::ScpCopy{}.install(p);
-  workload::DiskNoise{}.install(p);
-  rt::DeterminismTest::Params dp;
-  dp.iterations = std::max(1, static_cast<int>(60 * scale));
-  if (shield) dp.affinity = hw::CpuMask::single(1);
-  rt::DeterminismTest test(p.kernel(), dp);
-  p.boot();
-  if (shield) p.shield().shield_all(hw::CpuMask::single(1));
-  p.run_for(dp.loop_work * static_cast<sim::Duration>(dp.iterations) * 2 +
-            10_s);
-  ExperimentResult r;
-  r.name = name;
-  r.description = desc;
-  r.latencies = test.excess_histogram();
-  r.metric_name = "loop-time excess over ideal";
-  r.ideal = test.ideal();
-  r.events = p.engine().events_executed();
-  return r;
+using json::Value;
+
+Value obj(std::initializer_list<std::pair<const char*, Value>> kv) {
+  Value v = Value::object();
+  for (const auto& [key, val] : kv) v.set(key, val);
+  return v;
 }
 
-ExperimentResult run_realfeel(const std::string& name, const std::string& desc,
-                              const KernelConfig& kcfg, bool shield,
-                              std::uint64_t seed, double scale) {
-  Platform p(MachineConfig::dual_p3_xeon_933(), kcfg, seed);
-  workload::StressKernel{}.install(p);
-  rt::RealfeelTest::Params rp;
-  rp.samples = std::max<std::uint64_t>(
-      1000, static_cast<std::uint64_t>(2'000'000 * scale));
-  if (shield) rp.affinity = hw::CpuMask::single(1);
-  rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
-  p.boot();
-  if (shield) p.shield().dedicate_cpu(1, test.task(), p.rtc_device().irq());
-  test.start();
-  p.run_for(sim::from_seconds(static_cast<double>(rp.samples) / 2048.0 * 2) +
-            5_s);
-  ExperimentResult r;
-  r.name = name;
-  r.description = desc;
-  r.latencies = test.latencies();
-  r.metric_name = "realfeel gap latency";
-  r.events = p.engine().events_executed();
-  return r;
+WorkloadRef wl(const char* name, Value params = Value::object()) {
+  return WorkloadRef{name, std::move(params)};
 }
 
-ExperimentResult run_rcim(const std::string& name, const std::string& desc,
-                          std::uint64_t seed, double scale) {
-  Platform p(MachineConfig::dual_p4_xeon_2000_rcim(),
-             KernelConfig::redhawk_1_4(), seed);
-  workload::StressKernel{}.install(p);
-  workload::X11Perf{}.install(p);
-  workload::TtcpEthernet{}.install(p);
-  rt::RcimTest::Params rp;
-  rp.samples = std::max<std::uint64_t>(
-      1000, static_cast<std::uint64_t>(2'000'000 * scale));
-  rp.affinity = hw::CpuMask::single(1);
-  rt::RcimTest test(p.kernel(), p.rcim_driver(), rp);
-  p.boot();
-  p.shield().dedicate_cpu(1, test.task(), p.rcim_device().irq());
-  test.start();
-  p.run_for(sim::from_seconds(static_cast<double>(rp.samples) / 1000.0 * 2) +
-            5_s);
-  ExperimentResult r;
-  r.name = name;
-  r.description = desc;
-  r.latencies = test.latencies();
-  r.metric_name = "RCIM count-register latency";
-  r.events = p.engine().events_executed();
-  return r;
+ShieldPlan shield_all_cpu(int cpu) {
+  ShieldPlan s;
+  s.mode = ShieldPlan::Mode::kShieldAll;
+  s.cpu = cpu;
+  return s;
 }
 
-ExperimentRegistry make_builtin() {
-  ExperimentRegistry reg;
-  reg.add({"fig1",
-           "determinism, kernel.org 2.4.20, hyperthreading on (paper: 26.17% jitter)",
-           [](std::uint64_t seed, double scale) {
-             return run_determinism(
-                 "fig1", "vanilla 2.4.20 + HT, scp+disknoise load",
-                 KernelConfig::vanilla_2_4_20(), std::nullopt, false, seed,
-                 scale);
-           }});
-  reg.add({"fig2",
-           "determinism, RedHawk 1.4 shielded CPU (paper: 1.87% jitter)",
-           [](std::uint64_t seed, double scale) {
-             return run_determinism("fig2", "RedHawk 1.4, CPU 1 fully shielded",
-                                    KernelConfig::redhawk_1_4(), std::nullopt,
-                                    true, seed, scale);
-           }});
-  reg.add({"fig3",
-           "determinism, RedHawk 1.4 unshielded (paper: 14.82% jitter)",
-           [](std::uint64_t seed, double scale) {
-             return run_determinism("fig3", "RedHawk 1.4, no shielding",
-                                    KernelConfig::redhawk_1_4(), std::nullopt,
-                                    false, seed, scale);
-           }});
-  reg.add({"fig4",
-           "determinism, kernel.org 2.4.20, hyperthreading off (paper: 13.15%)",
-           [](std::uint64_t seed, double scale) {
-             return run_determinism("fig4", "vanilla 2.4.20, HT disabled",
-                                    KernelConfig::vanilla_2_4_20(), false,
-                                    false, seed, scale);
-           }});
-  reg.add({"fig5",
-           "realfeel response, kernel.org 2.4.20 (paper: max 92.3 ms)",
-           [](std::uint64_t seed, double scale) {
-             return run_realfeel("fig5", "vanilla 2.4.20, stress-kernel load",
-                                 KernelConfig::vanilla_2_4_20(), false, seed,
-                                 scale);
-           }});
-  reg.add({"fig6",
-           "realfeel response, RedHawk 1.4 shielded CPU (paper: max 0.565 ms)",
-           [](std::uint64_t seed, double scale) {
-             return run_realfeel("fig6", "RedHawk 1.4, CPU 1 shielded",
-                                 KernelConfig::redhawk_1_4(), true, seed,
-                                 scale);
-           }});
-  reg.add({"fig7",
-           "RCIM response, shielded CPU (paper: 11/11.3/27 us min/avg/max)",
-           [](std::uint64_t seed, double scale) {
-             return run_rcim(
-                 "fig7", "RedHawk 1.4 + RCIM, stress-kernel + x11perf + ttcp",
-                 seed, scale);
-           }});
-  reg.add({"preempt-lowlat",
-           "realfeel response, 2.4 + preempt + low-latency (the 1.2 ms claim [5])",
-           [](std::uint64_t seed, double scale) {
-             return run_realfeel("preempt-lowlat",
-                                 "2.4.20 + preempt + low-latency patches",
-                                 KernelConfig::patched_preempt_lowlat(), false,
-                                 seed, scale);
-           }});
+ShieldPlan dedicate_cpu(int cpu) {
+  ShieldPlan s;
+  s.mode = ShieldPlan::Mode::kDedicate;
+  s.cpu = cpu;
+  return s;
+}
+
+ShieldPlan components(int cpu, bool procs, bool irqs, bool ltmr) {
+  ShieldPlan s;
+  s.mode = ShieldPlan::Mode::kComponents;
+  s.cpu = cpu;
+  s.procs = procs;
+  s.irqs = irqs;
+  s.ltmr = ltmr;
+  s.bind_irq = true;
+  return s;
+}
+
+DurationPolicy factor_margin(double factor, sim::Duration margin) {
+  DurationPolicy d;
+  d.factor = factor;
+  d.margin_ns = margin;
+  return d;
+}
+
+DurationPolicy fixed(sim::Duration ns) {
+  DurationPolicy d;
+  d.fixed_ns = ns;
+  return d;
+}
+
+// ---- figures ---------------------------------------------------------------
+
+void add_figures(ScenarioRegistry& reg) {
+  // Figures 1-4: execution determinism under scp + disknoise (§5).
+  const auto determinism_fig = [](const char* name, const char* title,
+                                  const char* kernel, bool shield,
+                                  std::optional<bool> ht, const char* paper) {
+    ScenarioSpec s;
+    s.name = name;
+    s.title = title;
+    s.description = std::string("determinism, ") + title + " (paper: " +
+                    paper + ")";
+    s.group = "figure";
+    s.machine = "dual-p4-1400";
+    s.kernel = kernel;
+    s.ht_override = ht;
+    s.workloads = {wl("scp-copy"), wl("disknoise")};
+    s.probe = "determinism";
+    s.probe_params = shield ? obj({{"iterations", 60}, {"affinity_cpu", 1}})
+                            : obj({{"iterations", 60}});
+    if (shield) s.shield = shield_all_cpu(1);
+    s.duration = factor_margin(2.0, 10 * sim::kSecond);
+    s.paper_ref = paper;
+    return s;
+  };
+  reg.add(determinism_fig("fig1", "Figure 1: kernel.org 2.4.20 (hyperthreading)",
+                          "vanilla-2.4.20", false, std::nullopt,
+                          "26.17% jitter"));
+  reg.add(determinism_fig("fig2", "Figure 2: RedHawk 1.4, shielded CPU",
+                          "redhawk-1.4", true, std::nullopt, "1.87% jitter"));
+  reg.add(determinism_fig("fig3", "Figure 3: RedHawk 1.4, unshielded CPU",
+                          "redhawk-1.4", false, std::nullopt, "14.82% jitter"));
+  reg.add(determinism_fig("fig4",
+                          "Figure 4: kernel.org 2.4.20 (no hyperthreading)",
+                          "vanilla-2.4.20", false, false, "13.15% jitter"));
+
+  // Figures 5-6 (+ the [5] configuration): realfeel under stress-kernel.
+  const auto realfeel_fig = [](const char* name, const char* title,
+                               const char* kernel, bool shield,
+                               const char* paper) {
+    ScenarioSpec s;
+    s.name = name;
+    s.title = title;
+    s.description = std::string("realfeel response, ") + title +
+                    " (paper: " + paper + ")";
+    s.group = "figure";
+    s.machine = "dual-p3-933";
+    s.kernel = kernel;
+    s.workloads = {wl("stress-kernel")};
+    s.probe = "realfeel";
+    s.probe_params = shield
+                         ? obj({{"samples", 2'000'000}, {"affinity_cpu", 1}})
+                         : obj({{"samples", 2'000'000}});
+    if (shield) s.shield = dedicate_cpu(1);
+    s.duration = factor_margin(1.5, 5 * sim::kSecond);
+    s.paper_ref = paper;
+    return s;
+  };
+  reg.add(realfeel_fig("fig5", "Figure 5: kernel.org 2.4.20",
+                       "vanilla-2.4.20", false,
+                       "max 92.3 ms (99.140% < 0.1 ms)"));
+  reg.add(realfeel_fig("fig6",
+                       "Figure 6: RedHawk 1.4, CPU 1 shielded "
+                       "(procs+irqs+ltmr)",
+                       "redhawk-1.4", true,
+                       "max 0.565 ms (99.99989% < 0.1 ms)"));
+  reg.add(realfeel_fig("preempt-lowlat",
+                       "2.4.20 + preempt + low-latency patches",
+                       "preempt-lowlat", false, "1.2 ms worst case [5]"));
+
+  // Figure 7: RCIM response on a shielded CPU (§6.3).
+  ScenarioSpec fig7;
+  fig7.name = "fig7";
+  fig7.title = "Figure 7: RCIM interrupt response, shielded CPU";
+  fig7.description =
+      "RCIM response, RedHawk 1.4 + RCIM, stress-kernel + x11perf + ttcp "
+      "(paper: 11/11.3/27 us min/avg/max)";
+  fig7.group = "figure";
+  fig7.machine = "dual-p4-2000-rcim";
+  fig7.kernel = "redhawk-1.4";
+  fig7.workloads = {wl("stress-kernel"), wl("x11perf"), wl("ttcp-ethernet")};
+  fig7.probe = "rcim";
+  fig7.probe_params =
+      obj({{"count", 2'500}, {"samples", 2'000'000}, {"affinity_cpu", 1}});
+  fig7.shield = dedicate_cpu(1);
+  fig7.duration = factor_margin(1.5, 5 * sim::kSecond);
+  fig7.paper_ref = "min 11 us / avg 11.3 us / max 27 us";
+  reg.add(std::move(fig7));
+}
+
+// ---- ablation A: shield components ----------------------------------------
+
+void add_shield_components(ScenarioRegistry& reg) {
+  struct Case {
+    const char* name;
+    const char* title;
+    bool procs, irqs, ltmr;
+  };
+  const Case cases[] = {
+      {"abl-shield-none", "no shield", false, false, false},
+      {"abl-shield-procs", "procs only", true, false, false},
+      {"abl-shield-irqs", "irqs only", false, true, false},
+      {"abl-shield-ltmr", "ltmr only", false, false, true},
+      {"abl-shield-procs-irqs", "procs+irqs", true, true, false},
+      {"abl-shield-procs-ltmr", "procs+ltmr", true, false, true},
+      {"abl-shield-irqs-ltmr", "irqs+ltmr", false, true, true},
+      {"abl-shield-full", "procs+irqs+ltmr (full shield)", true, true, true},
+  };
+  for (const Case& c : cases) {
+    ScenarioSpec s;
+    s.name = c.name;
+    s.title = c.title;
+    s.description = std::string("ablation A: Fig-6 scenario with shield = ") +
+                    c.title;
+    s.group = "ablation";
+    s.machine = "dual-p3-933";
+    s.kernel = "redhawk-1.4";
+    s.workloads = {wl("stress-kernel")};
+    s.probe = "realfeel";
+    s.probe_params = obj({{"samples", 400'000}, {"affinity_cpu", 1}});
+    s.shield = components(1, c.procs, c.irqs, c.ltmr);
+    s.duration = factor_margin(2.0, 5 * sim::kSecond);
+    reg.add(std::move(s));
+  }
+}
+
+// ---- ablation B: the patch stack ------------------------------------------
+
+void add_kernel_features(ScenarioRegistry& reg) {
+  struct Step {
+    const char* name;
+    const char* title;
+    const char* kernel;
+    Value overrides;
+    bool shield;
+  };
+  Step steps[] = {
+      {"abl-kernel-vanilla", "kernel.org 2.4.20", "vanilla-2.4.20",
+       Value::object(), false},
+      {"abl-kernel-lowlat", "+ low-latency patches only", "vanilla-2.4.20",
+       obj({{"name", "2.4.20 + low-latency"},
+            {"low_latency", true},
+            {"section_min_ns", 1'000},
+            {"section_max_ns", 1'200'000},
+            {"section_alpha", 1.3}}),
+       false},
+      {"abl-kernel-preempt", "+ preemption patch only", "vanilla-2.4.20",
+       obj({{"name", "2.4.20 + preempt"}, {"preempt_kernel", true}}), false},
+      {"abl-kernel-preempt-lowlat", "+ preempt + low-latency [5]",
+       "preempt-lowlat", Value::object(), false},
+      {"abl-kernel-redhawk-noshield", "RedHawk 1.4, unshielded",
+       "redhawk-1.4", obj({{"name", "RedHawk (shield unused)"}}), false},
+      {"abl-kernel-redhawk-shielded", "RedHawk 1.4, shielded CPU",
+       "redhawk-1.4", Value::object(), true},
+  };
+  for (Step& step : steps) {
+    ScenarioSpec s;
+    s.name = step.name;
+    s.title = step.title;
+    s.description =
+        std::string("ablation B1: realfeel worst case with ") + step.title;
+    s.group = "ablation";
+    s.machine = "dual-p3-933";
+    s.kernel = step.kernel;
+    s.kernel_overrides = std::move(step.overrides);
+    s.workloads = {wl("stress-kernel")};
+    s.probe = "realfeel";
+    s.probe_params = step.shield
+                         ? obj({{"samples", 400'000}, {"affinity_cpu", 1}})
+                         : obj({{"samples", 400'000}});
+    if (step.shield) s.shield = dedicate_cpu(1);
+    s.duration = factor_margin(2.0, 5 * sim::kSecond);
+    reg.add(std::move(s));
+  }
+
+  // B2: the §6.3 BKL-ioctl flag, isolated on an early-RedHawk model with
+  // 2.4-length section hold times. Ground-truth latencies: with the BKL
+  // the latency can exceed the RCIM period, which wraps the register
+  // measurement.
+  for (const bool flagged : {false, true}) {
+    ScenarioSpec s;
+    s.name = flagged ? "abl-bkl-flagged" : "abl-bkl-locked";
+    s.title = flagged ? "driver flag honoured (no BKL)" : "BKL around ioctl";
+    s.description = std::string("ablation B2: RCIM wait path, ") + s.title;
+    s.group = "ablation";
+    s.machine = "dual-p4-2000-rcim";
+    s.kernel = "redhawk-1.4";
+    s.kernel_overrides =
+        obj({{"name", flagged ? "early RedHawk (BKL-free ioctl)"
+                              : "early RedHawk (BKL in every ioctl)"},
+             {"section_min_ns", 2'000},
+             {"section_max_ns", 8'000'000},
+             {"section_alpha", 1.1},
+             {"bkl_ioctl_flag", flagged}});
+    s.workloads = {wl("stress-kernel"), wl("x11perf"), wl("ttcp-ethernet"),
+                   wl("disknoise"), wl("legacy-ioctl")};
+    s.probe = "rcim";
+    s.probe_params = obj({{"samples", 200'000},
+                          {"affinity_cpu", 1},
+                          {"measure", "truth"}});
+    s.shield = dedicate_cpu(1);
+    s.duration = factor_margin(2.0, 5 * sim::kSecond);
+    reg.add(std::move(s));
+  }
+}
+
+// ---- ablation C: hyperthread contention -----------------------------------
+
+void add_hyperthreading(ScenarioRegistry& reg) {
+  const int duties[] = {0, 25, 50, 75, 100};
+  for (const int duty : duties) {
+    for (const bool ht : {true, false}) {
+      ScenarioSpec s;
+      s.name = "abl-ht-duty" + std::to_string(duty) +
+               (ht ? "-sibling" : "-core");
+      s.title = std::to_string(duty) + "% duty neighbour on " +
+                (ht ? "the HT sibling" : "another core");
+      s.description = "ablation C: determinism loop vs " + s.title;
+      s.group = "ablation";
+      s.machine = "dual-p4-1400";
+      s.kernel = "vanilla-2.4.20";
+      s.ht_override = ht;
+      if (duty > 0) {
+        s.workloads = {
+            wl("sibling-hog",
+               obj({{"task_name", ht ? "sibling-hog" : "other-core-hog"},
+                    {"cpu", 1},
+                    {"duty", duty / 100.0},
+                    {"period_ns", 10'000'000},
+                    {"memory_intensity", 0.7}}))};
+      }
+      s.probe = "determinism";
+      s.probe_params = obj({{"loop_work_ns", 300'000'000},
+                            {"iterations", 25},
+                            {"affinity_cpu", 0}});
+      s.duration = factor_margin(3.0, 10 * sim::kSecond);
+      reg.add(std::move(s));
+    }
+  }
+}
+
+// ---- ablation D: memory locking -------------------------------------------
+
+void add_mlock(ScenarioRegistry& reg) {
+  struct Case {
+    const char* name;
+    const char* title;
+    bool mlocked, loaded;
+  };
+  const Case cases[] = {
+      {"abl-mlock-locked-idle", "mlockall, idle system", true, false},
+      {"abl-mlock-pageable-idle", "pageable, idle system", false, false},
+      {"abl-mlock-locked-loaded", "mlockall, scp+disknoise", true, true},
+      {"abl-mlock-pageable-loaded", "pageable, scp+disknoise", false, true},
+  };
+  for (const Case& c : cases) {
+    ScenarioSpec s;
+    s.name = c.name;
+    s.title = c.title;
+    s.description =
+        std::string("ablation D: page-fault jitter, ") + c.title;
+    s.group = "ablation";
+    s.machine = "dual-p4-1400";
+    s.kernel = "redhawk-1.4";
+    if (c.loaded) s.workloads = {wl("scp-copy"), wl("disknoise")};
+    s.probe = "determinism";
+    s.probe_params = obj({{"loop_work_ns", 300'000'000},
+                          {"iterations", 30},
+                          {"affinity_cpu", 1},
+                          {"mlocked", c.mlocked}});
+    s.shield = shield_all_cpu(1);
+    s.duration = factor_margin(3.0, 10 * sim::kSecond);
+    reg.add(std::move(s));
+  }
+}
+
+// ---- cyclictest ladder -----------------------------------------------------
+
+void add_cyclictest(ScenarioRegistry& reg) {
+  struct Case {
+    const char* name;
+    const char* title;
+    const char* kernel;
+    bool shield;
+  };
+  const Case cases[] = {
+      {"cyclic-vanilla", "kernel.org 2.4.20", "vanilla-2.4.20", false},
+      {"cyclic-preempt-lowlat", "2.4 + preempt + low-latency",
+       "preempt-lowlat", false},
+      {"cyclic-redhawk", "RedHawk 1.4, unshielded", "redhawk-1.4", false},
+      {"cyclic-redhawk-shielded", "RedHawk 1.4, shielded CPU", "redhawk-1.4",
+       true},
+  };
+  for (const Case& c : cases) {
+    ScenarioSpec s;
+    s.name = c.name;
+    s.title = c.title;
+    s.description = std::string(
+                        "cyclictest: 1 kHz wakeup latency under stress-kernel"
+                        " + hackbench, ") +
+                    c.title;
+    s.group = "cyclictest";
+    s.machine = "dual-p3-933";
+    s.kernel = c.kernel;
+    s.workloads = {wl("stress-kernel"), wl("hackbench")};
+    s.probe = "cyclictest";
+    s.probe_params =
+        c.shield ? obj({{"period_ns", 1'000'000},
+                        {"cycles", 200'000},
+                        {"affinity_cpu", 1}})
+                 : obj({{"period_ns", 1'000'000}, {"cycles", 200'000}});
+    if (c.shield) s.shield = shield_all_cpu(1);
+    // Duration-bound (see CyclicProbe): 2x the ideal 200 s of cycles plus
+    // margin, matching the historical horizon. Jiffy-quantized kernels
+    // collect ~1/10 of the cycles in this window — that is the result.
+    s.duration = fixed(405 * sim::kSecond);
+    reg.add(std::move(s));
+  }
+}
+
+// ---- frequency sweep -------------------------------------------------------
+
+void add_frequency_sweep(ScenarioRegistry& reg) {
+  const unsigned rates[] = {250u, 500u, 1000u, 2000u, 4000u, 8000u, 10000u};
+  for (const unsigned hz : rates) {
+    ScenarioSpec s;
+    s.name = "freq-" + std::to_string(hz);
+    s.title = std::to_string(hz) + " Hz RCIM periodic on a shielded CPU";
+    s.description =
+        "frequency sweep: " + std::to_string(hz) + " Hz under stress-kernel";
+    s.group = "frequency";
+    s.machine = "dual-p4-2000-rcim";
+    s.kernel = "redhawk-1.4";
+    s.workloads = {wl("stress-kernel")};
+    s.probe = "rcim";
+    s.probe_params = obj({{"count", 2'500'000u / hz},
+                          {"samples", 150'000},
+                          {"affinity_cpu", 1}});
+    s.shield = dedicate_cpu(1);
+    s.duration = factor_margin(2.0, 5 * sim::kSecond);
+    reg.add(std::move(s));
+  }
+}
+
+// ---- POSIX timers ----------------------------------------------------------
+
+void add_timer_gap(ScenarioRegistry& reg) {
+  const int periods_ms[] = {3, 7, 10, 25};
+  for (const int ms : periods_ms) {
+    for (const bool hires : {false, true}) {
+      ScenarioSpec s;
+      s.name = "timer-gap-" + std::to_string(ms) + "ms" +
+               (hires ? "-hires" : "-jiffy");
+      s.title = std::to_string(ms) + " ms period, " +
+                (hires ? "RedHawk (high-res)" : "2.4.20 (jiffy wheel)");
+      s.description =
+          "POSIX timers: periodic wakeup error at " + s.title;
+      s.group = "timers";
+      s.machine = "dual-p3-933";
+      s.kernel = hires ? "redhawk-1.4" : "vanilla-2.4.20";
+      s.probe = "timer-gap";
+      s.probe_params =
+          obj({{"period_ns", ms * 1'000'000}});
+      s.duration = fixed(30 * sim::kSecond);
+      reg.add(std::move(s));
+    }
+  }
+}
+
+// ---- holdoff tracer --------------------------------------------------------
+
+void add_holdoff(ScenarioRegistry& reg) {
+  struct Case {
+    const char* name;
+    const char* title;
+    const char* kernel;
+  };
+  const Case cases[] = {
+      {"holdoff-vanilla", "kernel.org 2.4.20", "vanilla-2.4.20"},
+      {"holdoff-preempt-lowlat", "2.4 + preempt + low-latency",
+       "preempt-lowlat"},
+      {"holdoff-redhawk", "RedHawk 1.4", "redhawk-1.4"},
+  };
+  for (const Case& c : cases) {
+    ScenarioSpec s;
+    s.name = c.name;
+    s.title = c.title;
+    s.description =
+        std::string("holdoff tracer: worst irq-off / preempt-off, ") +
+        c.title;
+    s.group = "holdoff";
+    s.machine = "dual-p3-933";
+    s.kernel = c.kernel;
+    s.workloads = {wl("stress-kernel")};
+    s.probe = "holdoff";
+    s.duration = fixed(60 * sim::kSecond);
+    reg.add(std::move(s));
+  }
+}
+
+ScenarioRegistry make_builtin() {
+  ScenarioRegistry reg;
+  add_figures(reg);
+  add_shield_components(reg);
+  add_kernel_features(reg);
+  add_hyperthreading(reg);
+  add_mlock(reg);
+  add_cyclictest(reg);
+  add_frequency_sweep(reg);
+  add_timer_gap(reg);
+  add_holdoff(reg);
   return reg;
 }
 
 }  // namespace
 
-const ExperimentRegistry& ExperimentRegistry::builtin() {
-  static const ExperimentRegistry reg = make_builtin();
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry reg = make_builtin();
   return reg;
 }
 
-const Experiment* ExperimentRegistry::find(const std::string& name) const {
-  for (const auto& e : experiments_) {
-    if (e.name() == name) return &e;
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s.name == name) return &s;
   }
   return nullptr;
 }
 
-std::vector<std::string> ExperimentRegistry::names() const {
+std::vector<std::string> ScenarioRegistry::names() const {
   std::vector<std::string> out;
-  out.reserve(experiments_.size());
-  for (const auto& e : experiments_) out.push_back(e.name());
+  out.reserve(specs_.size());
+  for (const auto& s : specs_) out.push_back(s.name);
   return out;
+}
+
+std::vector<const ScenarioSpec*> ScenarioRegistry::group(
+    const std::string& g) const {
+  std::vector<const ScenarioSpec*> out;
+  for (const auto& s : specs_) {
+    if (s.group == g) out.push_back(&s);
+  }
+  return out;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  if (find(spec.name) != nullptr) {
+    throw std::runtime_error("duplicate scenario name '" + spec.name + "'");
+  }
+  specs_.push_back(std::move(spec));
 }
 
 }  // namespace config

@@ -1,77 +1,37 @@
-// Named, runnable experiment descriptions.
+// The scenario registry: every experiment this repository reproduces,
+// as data.
 //
-// An Experiment bundles everything one measurement needs — machine, kernel,
-// workloads, the RT probe, the shield plan, and a duration policy — behind
-// a name like "fig6" or "rcim-shielded". The bench binaries, the shieldctl
-// CLI, and downstream users all build scenarios through this registry
-// instead of re-wiring platforms by hand.
+// Each figure, ablation case and sweep point is one declarative
+// ScenarioSpec (see scenario.h) — machine + kernel presets, workload list,
+// probe, shield plan, duration policy. The bench binaries, the shieldctl
+// CLI and the tests all pull specs from here and execute them through
+// config::ScenarioRunner; none of them wires a Platform by hand.
 #pragma once
 
-#include <functional>
-#include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "config/platform.h"
-#include "metrics/histogram.h"
+#include "config/scenario.h"
 
 namespace config {
 
-/// What an experiment run produced.
-struct ExperimentResult {
-  std::string name;
-  std::string description;
-  metrics::LatencyHistogram latencies;  ///< the experiment's primary metric
-  std::string metric_name;              ///< what `latencies` measures
-  sim::Duration ideal = 0;              ///< for determinism runs (else 0)
-  std::uint64_t events = 0;             ///< simulator events executed
-  /// Render the result the way the paper reports this experiment.
-  [[nodiscard]] std::string render() const;
-};
-
-/// A runnable scenario.
-class Experiment {
+class ScenarioRegistry {
  public:
-  struct Spec {
-    std::string name;
-    std::string description;
-    /// Scale factor multiplies sample counts (1.0 = bench default).
-    std::function<ExperimentResult(std::uint64_t seed, double scale)> run;
-  };
+  /// Every built-in scenario (fig1..fig7 plus the ablations and sweeps).
+  static const ScenarioRegistry& builtin();
 
-  explicit Experiment(Spec spec) : spec_(std::move(spec)) {}
-
-  [[nodiscard]] const std::string& name() const { return spec_.name; }
-  [[nodiscard]] const std::string& description() const {
-    return spec_.description;
-  }
-  ExperimentResult run(std::uint64_t seed = 2003, double scale = 1.0) const {
-    return spec_.run(seed, scale);
-  }
-
- private:
-  Spec spec_;
-};
-
-/// The registry of every experiment this repository reproduces.
-class ExperimentRegistry {
- public:
-  /// The built-in registry (fig1..fig7, ablation scenarios).
-  static const ExperimentRegistry& builtin();
-
-  [[nodiscard]] const Experiment* find(const std::string& name) const;
+  [[nodiscard]] const ScenarioSpec* find(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] const std::vector<Experiment>& all() const {
-    return experiments_;
-  }
+  [[nodiscard]] const std::vector<ScenarioSpec>& all() const { return specs_; }
+  /// Specs whose group tag matches (e.g. "figure", "ablation").
+  [[nodiscard]] std::vector<const ScenarioSpec*> group(
+      const std::string& g) const;
 
-  void add(Experiment::Spec spec) {
-    experiments_.emplace_back(std::move(spec));
-  }
+  /// Throws std::runtime_error on a duplicate name.
+  void add(ScenarioSpec spec);
 
  private:
-  std::vector<Experiment> experiments_;
+  std::vector<ScenarioSpec> specs_;
 };
 
 }  // namespace config

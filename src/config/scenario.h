@@ -1,0 +1,109 @@
+// Declarative scenario description.
+//
+// A ScenarioSpec is pure data: machine preset, kernel preset (+ field
+// overrides), hyperthreading override, workload list, RT probe + params,
+// shield plan and duration policy. It serializes to/from JSON, validates
+// against the workload/probe registries, and hashes to a stable digest —
+// the cache key ScenarioRunner uses. Every figure and ablation in this
+// repository is one of these records (see the registry in experiment.h);
+// nothing about an experiment lives in bench code any more.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "config/kernel_config.h"
+#include "config/machine_config.h"
+
+namespace config {
+
+/// One background load: a workload-registry name plus its parameters.
+struct WorkloadRef {
+  std::string name;
+  json::Value params = json::Value::object();
+};
+
+/// How the scenario pins and shields the RT side after boot.
+struct ShieldPlan {
+  enum class Mode {
+    kNone,        ///< no shielding
+    kShieldAll,   ///< shield_all(cpu): procs + irqs + local timer
+    kDedicate,    ///< dedicate_cpu(cpu, probe task, probe irq)
+    kComponents,  ///< individual procs/irqs/ltmr switches (ablation A)
+  };
+  Mode mode = Mode::kNone;
+  int cpu = 1;
+  // kComponents only:
+  bool procs = false;
+  bool irqs = false;
+  bool ltmr = false;
+  /// kComponents: additionally bind the probe's IRQ to `cpu` through the
+  /// procfs smp_affinity file (the "user intent" write ablation A makes
+  /// in every case, shielded or not).
+  bool bind_irq = false;
+};
+
+/// Simulated-time horizon. fixed_ns > 0 → horizon = fixed_ns * scale
+/// (duration-bound probes); otherwise horizon = probe base duration *
+/// factor + margin_ns (sample-bound probes, already scaled through their
+/// sample counts).
+struct DurationPolicy {
+  double factor = 2.0;
+  sim::Duration margin_ns = 5 * sim::kSecond;
+  sim::Duration fixed_ns = 0;
+};
+
+struct ScenarioSpec {
+  std::string name;         ///< registry key, e.g. "fig6"
+  std::string title;        ///< display title, e.g. "Figure 6: ..."
+  std::string description;  ///< one-liner for `shieldctl list`
+  std::string group;        ///< "figure", "ablation", "sweep", ...
+
+  std::string machine = "dual-p4-1400";      ///< machine preset token
+  std::string kernel = "vanilla-2.4.20";     ///< kernel preset token
+  /// KernelConfig field overrides applied over the preset (JSON object,
+  /// e.g. {"section_max_ns": 8000000, "section_alpha": 1.1}).
+  json::Value kernel_overrides = json::Value::object();
+  std::optional<bool> ht_override;
+
+  std::vector<WorkloadRef> workloads;
+
+  std::string probe = "realfeel";  ///< probe registry name
+  json::Value probe_params = json::Value::object();
+
+  ShieldPlan shield;
+  DurationPolicy duration;
+
+  /// The paper's reference numbers for this scenario (may be empty).
+  std::string paper_ref;
+
+  [[nodiscard]] json::Value to_json() const;
+  static ScenarioSpec from_json(const json::Value& v);
+
+  /// Content hash of the canonical JSON form — with the seed and scale,
+  /// the result-cache key.
+  [[nodiscard]] std::string digest() const;
+
+  /// Check every token against its registry (machine, kernel, workloads +
+  /// their params, probe + params, override keys, plan consistency).
+  /// Throws std::runtime_error naming the offending field.
+  void validate() const;
+};
+
+// ---- preset lookups --------------------------------------------------------
+
+[[nodiscard]] std::vector<std::string> machine_preset_names();
+[[nodiscard]] std::optional<MachineConfig> find_machine(
+    const std::string& token);
+
+[[nodiscard]] std::vector<std::string> kernel_preset_names();
+[[nodiscard]] std::optional<KernelConfig> find_kernel(const std::string& token);
+
+/// Apply a JSON object of KernelConfig overrides (keys as documented in
+/// docs/MODEL.md, e.g. "preempt_kernel", "section_max_ns"). Throws
+/// std::runtime_error on an unknown key.
+void apply_kernel_overrides(KernelConfig& cfg, const json::Value& overrides);
+
+}  // namespace config

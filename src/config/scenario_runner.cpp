@@ -1,0 +1,360 @@
+#include "config/scenario_runner.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "metrics/report.h"
+#include "sim/rng.h"
+#include "workload/registry.h"
+
+namespace config {
+namespace {
+
+using json::Value;
+
+// ---- exact histogram / summary serialization -------------------------------
+
+Value summary_to_json(const metrics::Summary& s) {
+  Value v = Value::object();
+  v.set("n", s.count());
+  if (s.count() == 0) return v;  // min/max are infinities; don't emit them
+  v.set("min", s.min());
+  v.set("max", s.max());
+  v.set("mean", s.mean());
+  v.set("m2", s.m2());
+  v.set("sum", s.sum());
+  return v;
+}
+
+metrics::Summary summary_from_json(const Value& v) {
+  const std::uint64_t n = v.find("n") ? v.find("n")->as_u64() : 0;
+  if (n == 0) return metrics::Summary{};
+  return metrics::Summary::restore(n, v.find("min")->as_double(),
+                                   v.find("max")->as_double(),
+                                   v.find("mean")->as_double(),
+                                   v.find("m2")->as_double(),
+                                   v.find("sum")->as_double());
+}
+
+Value hist_to_json(const metrics::LatencyHistogram& h) {
+  Value v = Value::object();
+  Value buckets = Value::array();
+  for (const auto& [index, count] : h.bucket_counts()) {
+    Value pair = Value::array();
+    pair.push(index);
+    pair.push(count);
+    buckets.push(std::move(pair));
+  }
+  v.set("buckets", std::move(buckets));
+  v.set("summary", summary_to_json(h.summary()));
+  return v;
+}
+
+metrics::LatencyHistogram hist_from_json(const Value& v) {
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+  if (const Value* b = v.find("buckets")) {
+    for (const auto& pair : b->items()) {
+      buckets.emplace_back(static_cast<int>(pair.items().at(0).as_i64()),
+                           pair.items().at(1).as_u64());
+    }
+  }
+  const Value* s = v.find("summary");
+  return metrics::LatencyHistogram::restore(
+      buckets, s ? summary_from_json(*s) : metrics::Summary{});
+}
+
+Value probe_result_to_json(const rt::ProbeResult& r) {
+  Value v = Value::object();
+  v.set("primary", hist_to_json(r.primary));
+  v.set("secondary", hist_to_json(r.secondary));
+  v.set("ideal_ns", r.ideal);
+  v.set("collected", r.collected);
+  v.set("expected", r.expected);
+  v.set("complete", r.complete);
+  Value stats = Value::object();
+  for (const auto& [key, value] : r.stats) stats.set(key, value);
+  v.set("stats", std::move(stats));
+  return v;
+}
+
+rt::ProbeResult probe_result_from_json(const Value& v) {
+  rt::ProbeResult r;
+  if (const Value* p = v.find("primary")) r.primary = hist_from_json(*p);
+  if (const Value* s = v.find("secondary")) r.secondary = hist_from_json(*s);
+  if (const Value* i = v.find("ideal_ns")) r.ideal = i->as_u64();
+  if (const Value* c = v.find("collected")) r.collected = c->as_u64();
+  if (const Value* e = v.find("expected")) r.expected = e->as_u64();
+  if (const Value* c = v.find("complete")) r.complete = c->as_bool();
+  if (const Value* s = v.find("stats")) {
+    for (const auto& [key, value] : s->members()) {
+      r.stats[key] = value.as_double();
+    }
+  }
+  return r;
+}
+
+// ---- shield plan -----------------------------------------------------------
+
+void apply_shield(const ScenarioSpec& spec, Platform& p, rt::Probe& probe) {
+  const ShieldPlan& s = spec.shield;
+  if (s.mode == ShieldPlan::Mode::kNone) return;
+  if (!p.has_shield()) {
+    throw std::runtime_error("scenario '" + spec.name +
+                             "': kernel has no shield support");
+  }
+  const auto mask = hw::CpuMask::single(s.cpu);
+  switch (s.mode) {
+    case ShieldPlan::Mode::kNone:
+      return;
+    case ShieldPlan::Mode::kShieldAll:
+      p.shield().shield_all(mask);
+      return;
+    case ShieldPlan::Mode::kDedicate:
+      if (probe.task() == nullptr || probe.irq() < 0) {
+        throw std::runtime_error(
+            "scenario '" + spec.name +
+            "': dedicate shield plan needs a probe with a task and an IRQ");
+      }
+      p.shield().dedicate_cpu(s.cpu, *probe.task(), probe.irq());
+      return;
+    case ShieldPlan::Mode::kComponents: {
+      if (s.bind_irq && probe.irq() >= 0) {
+        // The "user intent" procfs write: bind the probe's IRQ to the
+        // shield CPU whether or not the irq shield is up.
+        p.kernel().procfs().write(
+            "/proc/irq/" + std::to_string(probe.irq()) + "/smp_affinity",
+            std::to_string(std::uint64_t{1} << s.cpu));
+      }
+      if (s.procs) p.shield().set_process_shield(mask);
+      if (s.irqs) p.shield().set_irq_shield(mask);
+      if (s.ltmr) p.shield().set_ltmr_shield(mask);
+      return;
+    }
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+// ---- ScenarioResult --------------------------------------------------------
+
+json::Value ScenarioResult::to_json() const {
+  Value v = Value::object();
+  v.set("name", name);
+  v.set("digest", digest);
+  v.set("seed", seed);
+  v.set("scale", scale);
+  v.set("events", events);
+  v.set("probe", probe_result_to_json(probe));
+  return v;
+}
+
+ScenarioResult ScenarioResult::from_json(const json::Value& v) {
+  ScenarioResult r;
+  if (const Value* f = v.find("name")) r.name = f->as_string();
+  if (const Value* f = v.find("digest")) r.digest = f->as_string();
+  if (const Value* f = v.find("seed")) r.seed = f->as_u64();
+  if (const Value* f = v.find("scale")) r.scale = f->as_double();
+  if (const Value* f = v.find("events")) r.events = f->as_u64();
+  if (const Value* f = v.find("probe")) r.probe = probe_result_from_json(*f);
+  return r;
+}
+
+std::string ScenarioResult::render(const ScenarioSpec& spec) const {
+  std::ostringstream os;
+  os << "== " << (spec.title.empty() ? name : spec.title) << " ==\n";
+  if (!spec.description.empty()) os << spec.description << "\n";
+  if (probe.primary.count() == 0) {
+    os << "(no samples)\n";
+    return os.str();
+  }
+  if (!probe.complete) {
+    os << "WARNING: only " << probe.collected << "/" << probe.expected
+       << " samples collected\n";
+  }
+  if (probe.ideal > 0) {
+    os << metrics::determinism_legend(probe.ideal,
+                                      probe.ideal + probe.primary.max())
+       << "\n";
+  } else {
+    const auto thresholds = metrics::figure5_thresholds();
+    os << metrics::cumulative_bucket_table(probe.primary, thresholds);
+  }
+  os << metrics::ascii_histogram(probe.primary, 50, 8);
+  if (!spec.paper_ref.empty()) os << "paper: " << spec.paper_ref << "\n";
+  return os.str();
+}
+
+// ---- ScenarioRunner --------------------------------------------------------
+
+ScenarioRunner::ScenarioRunner(Options opt)
+    : opt_(std::move(opt)), sweep_(opt_.jobs) {
+  if (!opt_.cache_dir.empty()) {
+    ::mkdir(opt_.cache_dir.c_str(), 0755);  // EEXIST is fine
+  }
+}
+
+std::string ScenarioRunner::cache_key(const std::string& digest,
+                                      std::uint64_t seed) const {
+  return digest + "-" + std::to_string(seed) + "-" +
+         Value(opt_.scale).dump();
+}
+
+std::string ScenarioRunner::cache_path(const std::string& key) const {
+  return opt_.cache_dir + "/" + key + ".json";
+}
+
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
+                                   std::uint64_t seed, const Hooks& hooks) {
+  const bool observed = hooks.configured != nullptr ||
+                        hooks.finished != nullptr;
+  const std::string key = cache_key(spec.digest(), seed);
+  if (opt_.cache && !observed) {
+    {
+      const std::scoped_lock hold(cache_mutex_);
+      const auto it = memory_cache_.find(key);
+      if (it != memory_cache_.end()) {
+        ScenarioResult r = it->second;
+        r.from_cache = true;
+        return r;
+      }
+    }
+    if (!opt_.cache_dir.empty()) {
+      std::string text;
+      if (read_file(cache_path(key), text)) {
+        try {
+          ScenarioResult r = ScenarioResult::from_json(Value::parse(text));
+          r.from_cache = true;
+          const std::scoped_lock hold(cache_mutex_);
+          memory_cache_[key] = r;
+          return r;
+        } catch (const std::exception&) {
+          // Corrupt cache entry: fall through and recompute.
+        }
+      }
+    }
+  }
+
+  ScenarioResult r = run_uncached(spec, seed, hooks);
+  if (opt_.cache && !observed) {
+    const std::scoped_lock hold(cache_mutex_);
+    memory_cache_[key] = r;
+    if (!opt_.cache_dir.empty()) {
+      write_file(cache_path(key), r.to_json().dump(2));
+    }
+  }
+  return r;
+}
+
+ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
+                                            std::uint64_t seed,
+                                            const Hooks& hooks) {
+  spec.validate();
+  const auto machine = find_machine(spec.machine);
+  auto kcfg = *find_kernel(spec.kernel);
+  apply_kernel_overrides(kcfg, spec.kernel_overrides);
+
+  Platform p(*machine, kcfg, seed, spec.ht_override);
+  for (const auto& w : spec.workloads) {
+    workload::make_workload(w.name, w.params)->install(p);
+  }
+  if (hooks.configured) hooks.configured(p);
+
+  const auto probe =
+      rt::make_probe(spec.probe, p, spec.probe_params, opt_.scale);
+  p.boot();
+  apply_shield(spec, p, *probe);
+  probe->start();
+
+  sim::Duration horizon;
+  if (spec.duration.fixed_ns > 0) {
+    horizon = static_cast<sim::Duration>(
+        static_cast<double>(spec.duration.fixed_ns) * opt_.scale);
+  } else {
+    horizon = static_cast<sim::Duration>(
+                  static_cast<double>(probe->base_duration()) *
+                  spec.duration.factor) +
+              spec.duration.margin_ns;
+  }
+  p.run_for(horizon);
+
+  if (hooks.finished) hooks.finished(p, *probe);
+
+  ScenarioResult r;
+  r.name = spec.name;
+  r.digest = spec.digest();
+  r.seed = seed;
+  r.scale = opt_.scale;
+  r.probe = probe->result();
+  r.events = p.engine().events_executed();
+  return r;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_batch(
+    const std::vector<ScenarioSpec>& specs, std::uint64_t root_seed) {
+  return sweep_.map<ScenarioResult>(specs.size(), [&](std::size_t i) {
+    return run(specs[i], sim::derive_seed(root_seed, specs[i].name));
+  });
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_seeds(const ScenarioSpec& spec,
+                                                      std::uint64_t root_seed,
+                                                      int repeats) {
+  const auto n = static_cast<std::size_t>(repeats < 0 ? 0 : repeats);
+  return sweep_.map<ScenarioResult>(n, [&](std::size_t i) {
+    return run(spec, sim::derive_seed(root_seed,
+                                      spec.name + "#" + std::to_string(i)));
+  });
+}
+
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
+                                      const json::Value& grid) {
+  if (!grid.is_object()) {
+    throw std::runtime_error("scenario grid must be a JSON object");
+  }
+  std::vector<ScenarioSpec> out{base};
+  for (const auto& [key, values] : grid.members()) {
+    if (!values.is_array() || values.items().empty()) {
+      throw std::runtime_error("grid key '" + key +
+                               "' must map to a non-empty array");
+    }
+    std::vector<ScenarioSpec> next;
+    next.reserve(out.size() * values.items().size());
+    for (const auto& s : out) {
+      for (const auto& v : values.items()) {
+        ScenarioSpec ns = s;
+        ns.name += "/" + key + "=" +
+                   (v.is_string() ? v.as_string() : v.dump());
+        ns.probe_params.set(key, v);
+        next.push_back(std::move(ns));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace config

@@ -1,0 +1,113 @@
+// One executor behind every bench, tool and test.
+//
+// ScenarioRunner turns a ScenarioSpec into a Platform, installs the
+// workloads, builds the probe, boots, applies the shield plan, runs to the
+// horizon and returns a serializable ScenarioResult. Batches fan out over
+// bench::SweepRunner with per-scenario seeds derived via sim::derive_seed
+// (insertion-order independent), and results are cached in memory (and
+// optionally on disk) keyed by (spec digest, seed, scale).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "config/platform.h"
+#include "config/scenario.h"
+#include "config/sweep_runner.h"
+#include "rt/probe.h"
+
+namespace config {
+
+/// What one (spec, seed, scale) run produced. Pure simulated data — it
+/// JSON-round-trips exactly, which is what makes the cache sound.
+struct ScenarioResult {
+  std::string name;
+  std::string digest;  ///< spec digest the run was keyed by
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+  rt::ProbeResult probe;
+  std::uint64_t events = 0;  ///< simulator events executed
+  /// True when the result came out of the cache, not a fresh simulation.
+  /// Not serialized: a round-tripped result compares equal either way.
+  bool from_cache = false;
+
+  [[nodiscard]] json::Value to_json() const;
+  static ScenarioResult from_json(const json::Value& v);
+
+  /// Render the result the way the paper reports this kind of scenario
+  /// (determinism legend for probes with an ideal, cumulative latency
+  /// table otherwise).
+  [[nodiscard]] std::string render(const ScenarioSpec& spec) const;
+};
+
+class ScenarioRunner {
+ public:
+  struct Options {
+    /// Worker threads for batches (0 = all hardware threads).
+    unsigned jobs = 0;
+    /// Multiplies sample counts / fixed horizons, like the benches'
+    /// --scale always has.
+    double scale = 1.0;
+    /// In-memory result cache keyed by (digest, seed, scale).
+    bool cache = true;
+    /// Also persist results under this directory (empty = memory only).
+    std::string cache_dir;
+  };
+
+  /// Observation points for runs that need more than the cacheable result
+  /// (e.g. --trace). Any hook forces a fresh simulation: hooks see live
+  /// Platform/Probe state the cache cannot reproduce.
+  struct Hooks {
+    /// After workloads are installed, before the probe is constructed.
+    std::function<void(Platform&)> configured;
+    /// After the horizon has elapsed, before the result is extracted.
+    std::function<void(Platform&, rt::Probe&)> finished;
+  };
+
+  ScenarioRunner() : ScenarioRunner(Options{}) {}
+  explicit ScenarioRunner(Options opt);
+
+  [[nodiscard]] const Options& options() const { return opt_; }
+
+  /// Run one scenario at one seed, synchronously in this thread.
+  ScenarioResult run(const ScenarioSpec& spec, std::uint64_t seed,
+                     const Hooks& hooks = {});
+
+  /// Run many scenarios in parallel; seeds derive from `root_seed` per
+  /// spec *name*, so adding or reordering specs does not reshuffle the
+  /// streams of the others. Results come back in spec order.
+  std::vector<ScenarioResult> run_batch(const std::vector<ScenarioSpec>& specs,
+                                        std::uint64_t root_seed);
+
+  /// Run one scenario at `repeats` derived seeds in parallel
+  /// (seed fan-out for jitter-of-jitter studies).
+  std::vector<ScenarioResult> run_seeds(const ScenarioSpec& spec,
+                                        std::uint64_t root_seed, int repeats);
+
+ private:
+  ScenarioResult run_uncached(const ScenarioSpec& spec, std::uint64_t seed,
+                              const Hooks& hooks);
+  [[nodiscard]] std::string cache_key(const std::string& digest,
+                                      std::uint64_t seed) const;
+  [[nodiscard]] std::string cache_path(const std::string& key) const;
+
+  Options opt_;
+  bench::SweepRunner sweep_;
+  std::mutex cache_mutex_;
+  std::map<std::string, ScenarioResult> memory_cache_;
+};
+
+/// Expand a parameter grid over a base spec: `grid` is a JSON object
+/// mapping probe-parameter keys to arrays of values; the result is the
+/// cartesian product, each copy named `<base>/<key>=<value>/...` with the
+/// value substituted into probe_params. Order: last key varies fastest.
+[[nodiscard]] std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
+                                                    const json::Value& grid);
+
+}  // namespace config

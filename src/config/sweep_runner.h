@@ -1,0 +1,77 @@
+// Parallel map over independent simulation cases.
+//
+// Lives in the library (not bench/) so config::ScenarioRunner can batch
+// scenarios over it; the bench binaries keep using it through
+// bench/bench_util.h. The namespace stays `bench` — it is the bench-suite
+// execution strategy, whoever links it.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bench {
+
+/// Runs the independent cases of a config sweep across all hardware
+/// threads. Each case builds its own Platform (engine, kernel, devices,
+/// RNG streams) from its own seed, so workers share no mutable state and
+/// the per-case results are identical to a serial run; only wall-clock
+/// changes. Results come back in case order — print them serially after.
+class SweepRunner {
+ public:
+  explicit SweepRunner(unsigned workers = 0)
+      : workers_(workers != 0
+                     ? workers
+                     : std::max(1u, std::thread::hardware_concurrency())) {}
+
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Invoke `fn(i)` for every i in [0, n), spread over the workers, and
+  /// return the results in index order. `fn` must be self-contained: one
+  /// engine per case, no shared mutable state, no printing. If a case
+  /// throws, the sweep stops claiming new cases and the first exception is
+  /// rethrown here after all workers have joined (an exception escaping a
+  /// plain thread would have called std::terminate).
+  template <typename T, typename Fn>
+  std::vector<T> map(std::size_t n, Fn fn) const {
+    std::vector<T> results(n);
+    const auto workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers_, n));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+      return results;
+    }
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    const auto drain = [&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          results[i] = fn(i);
+        } catch (...) {
+          const std::scoped_lock hold(error_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (auto& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+    return results;
+  }
+
+ private:
+  unsigned workers_;
+};
+
+}  // namespace bench

@@ -116,4 +116,26 @@ void LatencyHistogram::clear() {
   summary_ = Summary{};
 }
 
+std::vector<std::pair<int, std::uint64_t>> LatencyHistogram::bucket_counts()
+    const {
+  std::vector<std::pair<int, std::uint64_t>> out;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)];
+    if (c != 0) out.emplace_back(i, c);
+  }
+  return out;
+}
+
+LatencyHistogram LatencyHistogram::restore(
+    const std::vector<std::pair<int, std::uint64_t>>& buckets,
+    const Summary& summary) {
+  LatencyHistogram h;
+  for (const auto& [index, c] : buckets) {
+    SIM_ASSERT(index >= 0 && index < kBucketCount);
+    h.buckets_[static_cast<std::size_t>(index)] = c;
+  }
+  h.summary_ = summary;
+  return h;
+}
+
 }  // namespace metrics

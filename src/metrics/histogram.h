@@ -51,6 +51,15 @@ class LatencyHistogram {
   void merge(const LatencyHistogram& other);
   void clear();
 
+  /// Exact non-empty (bucket index, count) pairs — the serializable form.
+  [[nodiscard]] std::vector<std::pair<int, std::uint64_t>> bucket_counts()
+      const;
+  /// Rebuild a histogram from bucket_counts() + summary(). The result is
+  /// indistinguishable from the original: same percentiles, same summary.
+  static LatencyHistogram restore(
+      const std::vector<std::pair<int, std::uint64_t>>& buckets,
+      const Summary& summary);
+
   /// Bucket index for a value — exposed for tests. Values beyond the table
   /// range (~2^49 ns) clamp into the last bucket.
   [[nodiscard]] static int bucket_index(sim::Duration v);

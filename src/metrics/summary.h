@@ -29,6 +29,23 @@ class Summary {
   /// Merge another summary into this one (for parallel sweeps).
   void merge(const Summary& other);
 
+  /// Welford M2 accumulator — exposed with `restore` so a summary can be
+  /// serialized and rebuilt exactly (scenario result caching).
+  [[nodiscard]] double m2() const { return m2_; }
+
+  /// Rebuild a summary from its exact internal state.
+  static Summary restore(std::uint64_t n, double min, double max, double mean,
+                         double m2, double sum) {
+    Summary s;
+    s.n_ = n;
+    s.min_ = min;
+    s.max_ = max;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.sum_ = sum;
+    return s;
+  }
+
  private:
   static sim::Duration to_duration(double v) {
     return v <= 0 ? 0 : static_cast<sim::Duration>(v + 0.5);

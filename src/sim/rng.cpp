@@ -18,6 +18,16 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t root, std::string_view label) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a over the label
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  std::uint64_t x = root ^ h;
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

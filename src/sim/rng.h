@@ -8,11 +8,22 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "sim/assert.h"
 #include "sim/time.h"
 
 namespace sim {
+
+/// Derive a case seed from a root seed and a stable case label.
+///
+/// SplitMix64-style: the label is FNV-1a hashed, folded into the root, and
+/// passed through the SplitMix64 finalizer. Because the result depends only
+/// on (root, label) — not on enumeration order — inserting, removing, or
+/// reordering cases in a sweep never reshuffles the RNG streams of the
+/// other cases (unlike the old `root + index` convention).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root,
+                                        std::string_view label);
 
 /// xoshiro256++ generator with SplitMix64 seeding.
 class Rng {

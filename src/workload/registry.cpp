@@ -1,0 +1,116 @@
+#include "workload/registry.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "workload/crashme.h"
+#include "workload/disk_noise.h"
+#include "workload/fifos_mmap.h"
+#include "workload/fs_stress.h"
+#include "workload/hackbench.h"
+#include "workload/legacy_ioctl.h"
+#include "workload/nfs_compile.h"
+#include "workload/p3_fpu.h"
+#include "workload/scp_copy.h"
+#include "workload/sibling_hog.h"
+#include "workload/stress_kernel.h"
+#include "workload/ttcp.h"
+#include "workload/x11perf.h"
+
+namespace workload {
+namespace {
+
+using config::json::Value;
+
+using Factory = std::function<std::unique_ptr<Workload>(const Value&)>;
+
+void require_object(const std::string& name, const Value& params) {
+  if (!params.is_object()) {
+    throw std::runtime_error("workload '" + name +
+                             "': params must be a JSON object");
+  }
+}
+
+/// Factory for a workload with no scenario-tunable parameters: the only
+/// accepted params value is the empty object.
+template <typename W>
+Factory plain(const char* name) {
+  return [name](const Value& params) -> std::unique_ptr<Workload> {
+    require_object(name, params);
+    if (!params.members().empty()) {
+      throw std::runtime_error("workload '" + std::string(name) +
+                               "': unknown parameter '" +
+                               params.members().front().first + "'");
+    }
+    return std::make_unique<W>();
+  };
+}
+
+std::unique_ptr<Workload> make_sibling_hog(const Value& params) {
+  require_object("sibling-hog", params);
+  SiblingHog::Params p;
+  for (const auto& [key, v] : params.members()) {
+    if (key == "task_name") {
+      p.task_name = v.as_string();
+    } else if (key == "cpu") {
+      p.cpu = static_cast<int>(v.as_i64());
+    } else if (key == "duty") {
+      p.duty = v.as_double();
+    } else if (key == "period_ns") {
+      p.period = static_cast<sim::Duration>(v.as_u64());
+    } else if (key == "memory_intensity") {
+      p.memory_intensity = v.as_double();
+    } else {
+      throw std::runtime_error("workload 'sibling-hog': unknown parameter '" +
+                               key + "'");
+    }
+  }
+  return std::make_unique<SiblingHog>(p);
+}
+
+const std::map<std::string, Factory>& table() {
+  static const std::map<std::string, Factory> t = {
+      {"scp-copy", plain<ScpCopy>("scp-copy")},
+      {"disknoise", plain<DiskNoise>("disknoise")},
+      {"stress-kernel", plain<StressKernel>("stress-kernel")},
+      {"x11perf", plain<X11Perf>("x11perf")},
+      {"ttcp-ethernet", plain<TtcpEthernet>("ttcp-ethernet")},
+      {"ttcp-loopback", plain<TtcpLoopback>("ttcp-loopback")},
+      {"hackbench", plain<Hackbench>("hackbench")},
+      {"legacy-ioctl", plain<LegacyIoctl>("legacy-ioctl")},
+      {"crashme", plain<Crashme>("crashme")},
+      {"fs-stress", plain<FsStress>("fs-stress")},
+      {"fifos-mmap", plain<FifosMmap>("fifos-mmap")},
+      {"nfs-compile", plain<NfsCompile>("nfs-compile")},
+      {"p3-fpu", plain<P3Fpu>("p3-fpu")},
+      {"sibling-hog", make_sibling_hog},
+  };
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::string> registry_names() {
+  std::vector<std::string> names;
+  names.reserve(table().size());
+  for (const auto& [name, factory] : table()) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+bool registry_contains(const std::string& name) {
+  return table().count(name) != 0;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const config::json::Value& params) {
+  const auto it = table().find(name);
+  if (it == table().end()) {
+    throw std::runtime_error("unknown workload '" + name + "'");
+  }
+  return it->second(params);
+}
+
+}  // namespace workload

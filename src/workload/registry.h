@@ -1,0 +1,30 @@
+// Name → factory registry for workloads.
+//
+// Scenario specs reference workloads by the same token Workload::name()
+// returns; the registry turns those tokens back into objects, applying
+// per-workload JSON parameters where the workload has tunables. Unknown
+// names and unknown parameter keys throw — spec validation surfaces both
+// before any simulation runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "workload/workload.h"
+
+namespace workload {
+
+/// All registered workload names, sorted.
+[[nodiscard]] std::vector<std::string> registry_names();
+
+[[nodiscard]] bool registry_contains(const std::string& name);
+
+/// Build a workload by name. `params` must be a JSON object (use
+/// config::json::Value::object() for defaults); throws std::runtime_error
+/// on an unknown name or an unknown/invalid parameter key.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(
+    const std::string& name, const config::json::Value& params);
+
+}  // namespace workload

@@ -1,0 +1,30 @@
+#include "workload/sibling_hog.h"
+
+#include <memory>
+#include <utility>
+
+namespace workload {
+
+void SiblingHog::install(config::Platform& platform) {
+  if (params_.duty <= 0.0) return;
+
+  kernel::Kernel::TaskParams tp;
+  tp.name = params_.task_name;
+  tp.affinity = hw::CpuMask::single(params_.cpu);
+  tp.memory_intensity = params_.memory_intensity;
+
+  const auto busy = static_cast<sim::Duration>(
+      static_cast<double>(params_.period) * std::min(params_.duty, 1.0));
+  const sim::Duration idle = params_.period - busy;
+  const double mem = params_.memory_intensity;
+  auto on = std::make_shared<bool>(true);
+  spawn(platform.kernel(), std::move(tp),
+        [busy, idle, mem, on](kernel::Kernel&,
+                              kernel::Task&) -> kernel::Action {
+          *on = !*on;
+          if (*on && idle > 0) return kernel::SleepAction{idle};
+          return kernel::ComputeAction{busy == 0 ? 1u : busy, mem};
+        });
+}
+
+}  // namespace workload

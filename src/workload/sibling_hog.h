@@ -1,0 +1,34 @@
+// A duty-cycled CPU hog pinned to one logical CPU — §5.2's "sibling busy"
+// neighbour. With hyperthreading on and cpu = the RT task's sibling, the
+// hog contends for the shared execution unit; pinned to another core it
+// only contends for the bus, which is the Fig 1 vs Fig 4 difference the
+// hyperthreading ablation parameterises.
+#pragma once
+
+#include <string>
+
+#include "workload/workload.h"
+
+namespace workload {
+
+class SiblingHog final : public Workload {
+ public:
+  struct Params {
+    std::string task_name = "sibling-hog";
+    int cpu = 1;
+    /// Busy fraction of each period; <= 0 installs nothing.
+    double duty = 1.0;
+    sim::Duration period = 10 * sim::kMillisecond;
+    double memory_intensity = 0.7;
+  };
+
+  SiblingHog() : SiblingHog(Params{}) {}
+  explicit SiblingHog(Params params) : params_(std::move(params)) {}
+  [[nodiscard]] std::string name() const override { return "sibling-hog"; }
+  void install(config::Platform& platform) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace workload

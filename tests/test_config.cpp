@@ -1,6 +1,7 @@
 // Kernel/machine configuration presets and platform assembly.
 #include <gtest/gtest.h>
 
+#include "config/scenario.h"
 #include "kernel_test_util.h"
 
 using namespace testutil;
@@ -108,4 +109,41 @@ TEST(Platform, RunForAdvancesTime) {
   EXPECT_EQ(p->engine().now(), 123_ms);
   p->run_until(200_ms);
   EXPECT_EQ(p->engine().now(), 200_ms);
+}
+
+// ---- scenario preset lookups ------------------------------------------------
+
+TEST(ScenarioPresets, MachineTokensResolve) {
+  for (const auto& name : config::machine_preset_names()) {
+    EXPECT_TRUE(config::find_machine(name).has_value()) << name;
+  }
+  EXPECT_FALSE(config::find_machine("pdp-11").has_value());
+  const auto m = config::find_machine("dual-p4-2000-rcim");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->has_rcim);
+}
+
+TEST(ScenarioPresets, KernelTokensResolve) {
+  for (const auto& name : config::kernel_preset_names()) {
+    EXPECT_TRUE(config::find_kernel(name).has_value()) << name;
+  }
+  EXPECT_FALSE(config::find_kernel("linux-6.0").has_value());
+  EXPECT_TRUE(config::find_kernel("redhawk-1.4")->shield_support);
+  EXPECT_FALSE(config::find_kernel("vanilla-2.4.20")->shield_support);
+}
+
+TEST(ScenarioPresets, KernelOverridesApplyAndReject) {
+  auto cfg = *config::find_kernel("vanilla-2.4.20");
+  auto ov = config::json::Value::object();
+  ov.set("preempt_kernel", true);
+  ov.set("section_max_ns", 1'200'000);
+  ov.set("section_alpha", 1.3);
+  config::apply_kernel_overrides(cfg, ov);
+  EXPECT_TRUE(cfg.preempt_kernel);
+  EXPECT_EQ(cfg.section_max, 1'200'000);
+  EXPECT_DOUBLE_EQ(cfg.section_alpha, 1.3);
+
+  auto bad = config::json::Value::object();
+  bad.set("warp_factor", 9);
+  EXPECT_THROW(config::apply_kernel_overrides(cfg, bad), std::runtime_error);
 }

@@ -1,26 +1,32 @@
 // The paper's headline claims, pinned as regression tests at reduced
-// sample counts. These use the same experiment definitions as the bench
-// binaries, so a calibration regression in the model breaks CI here before
-// anyone re-reads a figure.
+// sample counts. These run the same registry scenarios as the bench
+// binaries, through the same ScenarioRunner, so a calibration regression
+// in the model breaks CI here before anyone re-reads a figure.
 #include <gtest/gtest.h>
 
 #include "config/experiment.h"
+#include "config/scenario_runner.h"
 #include "kernel_test_util.h"
 
 using namespace sim::literals;
 
 namespace {
 
-double jitter_pct(const config::ExperimentResult& r) {
-  return 100.0 * static_cast<double>(r.latencies.max()) /
-         static_cast<double>(r.ideal);
+config::ScenarioResult run(const char* name, double scale,
+                           std::uint64_t seed = 2003) {
+  const auto* s = config::ScenarioRegistry::builtin().find(name);
+  EXPECT_NE(s, nullptr) << name;
+  config::ScenarioRunner::Options ro;
+  ro.scale = scale;
+  config::ScenarioRunner runner(ro);
+  return runner.run(*s, seed);
 }
 
-config::ExperimentResult run(const char* name, double scale,
-                             std::uint64_t seed = 2003) {
-  const auto* e = config::ExperimentRegistry::builtin().find(name);
-  EXPECT_NE(e, nullptr) << name;
-  return e->run(seed, scale);
+/// Determinism scenarios: worst excess over the ideal loop time, as a
+/// percentage of the ideal (the figure-1..4 headline number).
+double jitter_pct(const config::ScenarioResult& r) {
+  return 100.0 * static_cast<double>(r.probe.primary.max()) /
+         static_cast<double>(r.probe.ideal);
 }
 
 }  // namespace
@@ -59,45 +65,45 @@ TEST(PaperClaims, HyperthreadingRoughlyDoublesVanillaJitter) {
 
 TEST(PaperClaims, Fig5VanillaWorstCaseIsTensOfMilliseconds) {
   const auto r = run("fig5", 0.05);  // 100k samples
-  EXPECT_GT(r.latencies.max(), 5_ms);
-  EXPECT_LT(r.latencies.max(), 95_ms);
+  EXPECT_GT(r.probe.primary.max(), 5_ms);
+  EXPECT_LT(r.probe.primary.max(), 95_ms);
   // Majority of responses are still fast — the paper's histogram shape.
-  EXPECT_GT(r.latencies.fraction_below(100_us), 0.90);
+  EXPECT_GT(r.probe.primary.fraction_below(100_us), 0.90);
 }
 
 TEST(PaperClaims, Fig6ShieldedWorstCaseIsSubMillisecond) {
   const auto r = run("fig6", 0.05);
-  EXPECT_LT(r.latencies.max(), 1_ms);  // paper: 0.565 ms
-  EXPECT_GT(r.latencies.fraction_below(100_us), 0.999);
+  EXPECT_LT(r.probe.primary.max(), 1_ms);  // paper: 0.565 ms
+  EXPECT_GT(r.probe.primary.fraction_below(100_us), 0.999);
 }
 
 TEST(PaperClaims, Fig7RcimGuaranteeUnder100Microseconds) {
   const auto r = run("fig7", 0.02);
-  EXPECT_LT(r.latencies.max(), 100_us);  // paper: 27 us
-  EXPECT_GT(r.latencies.min(), 3_us);    // paper: 11 us
+  EXPECT_LT(r.probe.primary.max(), 100_us);  // paper: 27 us
+  EXPECT_GT(r.probe.primary.min(), 3_us);    // paper: 11 us
   // avg hugs min: the path is constant-cost.
-  EXPECT_LT(r.latencies.mean(), r.latencies.min() * 2);
+  EXPECT_LT(r.probe.primary.mean(), r.probe.primary.min() * 2);
 }
 
 TEST(PaperClaims, PreemptLowlatLandsNearOneMillisecond) {
   // The Red Hat result the paper cites [5]: 1.2 ms worst case.
   const auto r = run("preempt-lowlat", 0.1);
-  EXPECT_LT(r.latencies.max(), 3_ms);
-  EXPECT_GT(r.latencies.max(), 50_us);
+  EXPECT_LT(r.probe.primary.max(), 3_ms);
+  EXPECT_GT(r.probe.primary.max(), 50_us);
 }
 
 TEST(PaperClaims, ShieldingBeatsEveryUnshieldedConfiguration) {
   const auto f5 = run("fig5", 0.02);
   const auto pl = run("preempt-lowlat", 0.02);
   const auto f6 = run("fig6", 0.02);
-  EXPECT_LT(f6.latencies.max(), pl.latencies.max());
-  EXPECT_LT(pl.latencies.max(), f5.latencies.max());
+  EXPECT_LT(f6.probe.primary.max(), pl.probe.primary.max());
+  EXPECT_LT(pl.probe.primary.max(), f5.probe.primary.max());
 }
 
-// ---- registry plumbing ----------------------------------------------------------
+// ---- registry plumbing ------------------------------------------------------
 
-TEST(ExperimentRegistry, AllFiguresRegistered) {
-  const auto& reg = config::ExperimentRegistry::builtin();
+TEST(ScenarioRegistry, AllFiguresRegistered) {
+  const auto& reg = config::ScenarioRegistry::builtin();
   for (const char* name :
        {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
         "preempt-lowlat"}) {
@@ -105,18 +111,21 @@ TEST(ExperimentRegistry, AllFiguresRegistered) {
   }
   EXPECT_EQ(reg.find("fig99"), nullptr);
   EXPECT_EQ(reg.names().size(), reg.all().size());
+  EXPECT_EQ(reg.group("figure").size(), 8u);
 }
 
-TEST(ExperimentRegistry, ResultsRenderNonEmpty) {
+TEST(ScenarioRegistry, ResultsRenderNonEmpty) {
+  const auto* spec = config::ScenarioRegistry::builtin().find("fig7");
+  ASSERT_NE(spec, nullptr);
   const auto r = run("fig7", 0.002);
-  const std::string s = r.render();
-  EXPECT_NE(s.find("fig7"), std::string::npos);
+  const std::string s = r.render(*spec);
+  EXPECT_NE(s.find(spec->title), std::string::npos);
   EXPECT_NE(s.find('#'), std::string::npos);  // histogram bars
 }
 
-TEST(ExperimentRegistry, SameSeedSameResult) {
+TEST(ScenarioRegistry, SameSeedSameResult) {
   const auto a = run("fig6", 0.005, 42);
   const auto b = run("fig6", 0.005, 42);
-  EXPECT_EQ(a.latencies.max(), b.latencies.max());
+  EXPECT_EQ(a.probe.primary.max(), b.probe.primary.max());
   EXPECT_EQ(a.events, b.events);
 }

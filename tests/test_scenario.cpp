@@ -1,0 +1,286 @@
+// The declarative scenario layer: spec JSON round-trips, validation,
+// registry completeness, the parallel runner, result serialization, the
+// (digest, seed, scale) cache and seed derivation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+
+#include "config/experiment.h"
+#include "config/json.h"
+#include "config/scenario.h"
+#include "config/scenario_runner.h"
+#include "rt/probe.h"
+#include "sim/rng.h"
+#include "workload/registry.h"
+
+namespace {
+
+config::ScenarioSpec spec_of(const char* name) {
+  const auto* s = config::ScenarioRegistry::builtin().find(name);
+  EXPECT_NE(s, nullptr) << name;
+  return *s;
+}
+
+}  // namespace
+
+// ---- spec serialization -----------------------------------------------------
+
+TEST(ScenarioSpec, JsonRoundTripIsIdentityForEveryBuiltin) {
+  for (const auto& spec : config::ScenarioRegistry::builtin().all()) {
+    const auto dumped = spec.to_json().dump();
+    const auto back =
+        config::ScenarioSpec::from_json(config::json::Value::parse(dumped));
+    EXPECT_EQ(back.to_json().dump(), dumped) << spec.name;
+    EXPECT_EQ(back.digest(), spec.digest()) << spec.name;
+  }
+}
+
+TEST(ScenarioSpec, DigestChangesWithContent) {
+  auto a = spec_of("fig6");
+  auto b = a;
+  b.probe_params.set("samples", 12345);
+  EXPECT_NE(a.digest(), b.digest());
+  // But the digest ignores nothing: even a title change is a new spec.
+  auto c = a;
+  c.title += " (edited)";
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(ScenarioSpec, FromJsonRejectsUnknownKeys) {
+  auto v = spec_of("fig6").to_json();
+  v.set("not_a_field", 1);
+  EXPECT_THROW(config::ScenarioSpec::from_json(v), std::runtime_error);
+}
+
+// ---- validation -------------------------------------------------------------
+
+TEST(ScenarioSpec, ValidateRejectsUnknownWorkloadName) {
+  auto s = spec_of("fig6");
+  s.workloads.push_back(config::WorkloadRef{"no-such-workload",
+                                            config::json::Value::object()});
+  EXPECT_THROW(s.validate(), std::runtime_error);
+}
+
+TEST(ScenarioSpec, ValidateRejectsUnknownProbeName) {
+  auto s = spec_of("fig6");
+  s.probe = "no-such-probe";
+  EXPECT_THROW(s.validate(), std::runtime_error);
+}
+
+TEST(ScenarioSpec, ValidateRejectsUnknownPresetsAndOverrides) {
+  auto s = spec_of("fig6");
+  s.machine = "quad-cray-1";
+  EXPECT_THROW(s.validate(), std::runtime_error);
+
+  s = spec_of("fig6");
+  s.kernel = "hurd-0.9";
+  EXPECT_THROW(s.validate(), std::runtime_error);
+
+  s = spec_of("fig6");
+  s.kernel_overrides.set("not_a_kernel_field", 1);
+  EXPECT_THROW(s.validate(), std::runtime_error);
+}
+
+TEST(ScenarioSpec, ValidateRejectsBadWorkloadParams) {
+  auto s = spec_of("fig6");
+  auto params = config::json::Value::object();
+  params.set("bogus_param", 3);
+  s.workloads.push_back(config::WorkloadRef{"sibling-hog", params});
+  EXPECT_THROW(s.validate(), std::runtime_error);
+}
+
+TEST(ScenarioSpec, DurationBoundProbesRequireFixedHorizon) {
+  auto s = spec_of("timer-gap-10ms-jiffy");
+  ASSERT_TRUE(rt::probe_duration_bound(s.probe));
+  s.duration.fixed_ns = 0;
+  EXPECT_THROW(s.validate(), std::runtime_error);
+}
+
+// ---- registries -------------------------------------------------------------
+
+TEST(ScenarioRegistry, NamesAreUniqueAndSpecsValidate) {
+  const auto& reg = config::ScenarioRegistry::builtin();
+  std::set<std::string> seen;
+  for (const auto& s : reg.all()) {
+    EXPECT_TRUE(seen.insert(s.name).second) << "duplicate: " << s.name;
+    EXPECT_NO_THROW(s.validate()) << s.name;
+    EXPECT_FALSE(s.group.empty()) << s.name;
+  }
+  EXPECT_GE(reg.all().size(), 50u);
+}
+
+TEST(ScenarioRegistry, EveryBenchScenarioIsPresent) {
+  const auto& reg = config::ScenarioRegistry::builtin();
+  for (const char* name :
+       {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "preempt-lowlat", "abl-shield-none", "abl-shield-full",
+        "abl-kernel-vanilla", "abl-kernel-redhawk-shielded", "abl-bkl-locked",
+        "abl-bkl-flagged", "abl-ht-duty0-sibling", "abl-ht-duty100-core",
+        "abl-mlock-locked-idle", "abl-mlock-pageable-loaded",
+        "cyclic-vanilla", "cyclic-redhawk-shielded", "freq-250", "freq-10000",
+        "timer-gap-3ms-jiffy", "timer-gap-25ms-hires", "holdoff-vanilla",
+        "holdoff-redhawk"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+}
+
+TEST(ScenarioRegistry, AddRejectsDuplicates) {
+  config::ScenarioRegistry reg;
+  reg.add(spec_of("fig6"));
+  EXPECT_THROW(reg.add(spec_of("fig6")), std::runtime_error);
+}
+
+TEST(WorkloadRegistry, NamesResolveAndUnknownsThrow) {
+  EXPECT_TRUE(workload::registry_contains("stress-kernel"));
+  EXPECT_TRUE(workload::registry_contains("sibling-hog"));
+  EXPECT_FALSE(workload::registry_contains("fork-bomb"));
+  EXPECT_THROW(
+      workload::make_workload("fork-bomb", config::json::Value::object()),
+      std::runtime_error);
+  EXPECT_GE(workload::registry_names().size(), 14u);
+}
+
+TEST(ProbeRegistry, NamesResolveAndUnknownsThrow) {
+  for (const char* name : {"determinism", "realfeel", "rcim", "cyclictest",
+                           "timer-gap", "holdoff"}) {
+    EXPECT_TRUE(rt::probe_contains(name)) << name;
+  }
+  EXPECT_FALSE(rt::probe_contains("lmbench"));
+}
+
+// ---- the runner -------------------------------------------------------------
+
+TEST(ScenarioRunner, WholeRegistrySmokesInParallel) {
+  // Every registry scenario must actually execute: tiny scale, parallel
+  // batch, results in spec order with matching digests.
+  const auto& specs = config::ScenarioRegistry::builtin().all();
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.002;
+  config::ScenarioRunner runner(ro);
+  const auto results = runner.run_batch(specs, 7);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].name, specs[i].name);
+    EXPECT_EQ(results[i].digest, specs[i].digest());
+    EXPECT_GT(results[i].events, 0u) << specs[i].name;
+  }
+}
+
+TEST(ScenarioRunner, BatchSeedsAreOrderIndependent) {
+  // Seeds derive from the scenario *name*, so a reordered batch reproduces
+  // the same per-scenario numbers.
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.cache = false;
+  config::ScenarioRunner runner(ro);
+  const std::vector<config::ScenarioSpec> ab{spec_of("fig6"), spec_of("fig7")};
+  const std::vector<config::ScenarioSpec> ba{spec_of("fig7"), spec_of("fig6")};
+  const auto r1 = runner.run_batch(ab, 2003);
+  const auto r2 = runner.run_batch(ba, 2003);
+  EXPECT_EQ(r1[0].to_json().dump(), r2[1].to_json().dump());
+  EXPECT_EQ(r1[1].to_json().dump(), r2[0].to_json().dump());
+}
+
+TEST(ScenarioRunner, MemoryCacheHitsAndIsExact) {
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  config::ScenarioRunner runner(ro);
+  const auto spec = spec_of("fig6");
+  const auto a = runner.run(spec, 11);
+  EXPECT_FALSE(a.from_cache);
+  const auto b = runner.run(spec, 11);
+  EXPECT_TRUE(b.from_cache);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  // A different seed is a different key.
+  EXPECT_FALSE(runner.run(spec, 12).from_cache);
+}
+
+TEST(ScenarioRunner, DiskCachePersistsAcrossRunners) {
+  // Relative path: lands in the ctest working directory.
+  const std::string dir = "scenario_cache_test";
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.cache_dir = dir;
+  const auto spec = spec_of("fig7");
+  std::string first;
+  {
+    config::ScenarioRunner runner(ro);
+    first = runner.run(spec, 5).to_json().dump();
+  }
+  {
+    config::ScenarioRunner runner(ro);  // fresh memory cache
+    const auto r = runner.run(spec, 5);
+    EXPECT_TRUE(r.from_cache);
+    EXPECT_EQ(r.to_json().dump(), first);
+  }
+  std::remove((dir + "/" + spec.digest() + "-5-0.005.json").c_str());
+}
+
+TEST(ScenarioRunner, HooksBypassTheCache) {
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  config::ScenarioRunner runner(ro);
+  const auto spec = spec_of("fig6");
+  (void)runner.run(spec, 11);  // warm the cache
+  int configured = 0;
+  config::ScenarioRunner::Hooks hooks;
+  hooks.configured = [&](config::Platform&) { ++configured; };
+  const auto r = runner.run(spec, 11, hooks);
+  EXPECT_FALSE(r.from_cache);
+  EXPECT_EQ(configured, 1);
+}
+
+TEST(ScenarioRunner, ResultJsonRoundTripPreservesHistograms) {
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.01;
+  config::ScenarioRunner runner(ro);
+  const auto r = runner.run(spec_of("fig5"), 2003);
+  const auto back = config::ScenarioResult::from_json(
+      config::json::Value::parse(r.to_json().dump(2)));
+  EXPECT_EQ(back.to_json().dump(), r.to_json().dump());
+  EXPECT_EQ(back.probe.primary.count(), r.probe.primary.count());
+  EXPECT_EQ(back.probe.primary.max(), r.probe.primary.max());
+  EXPECT_EQ(back.probe.primary.percentile(0.999),
+            r.probe.primary.percentile(0.999));
+  EXPECT_EQ(back.probe.primary.mean(), r.probe.primary.mean());
+}
+
+TEST(ScenarioRunner, ExpandGridIsCartesianLastKeyFastest) {
+  auto grid = config::json::Value::object();
+  auto rates = config::json::Value::array();
+  rates.push(512);
+  rates.push(1024);
+  auto samples = config::json::Value::array();
+  samples.push(100);
+  grid.set("rate_hz", std::move(rates));
+  grid.set("samples", std::move(samples));
+  const auto specs = config::expand_grid(spec_of("fig6"), grid);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].name, "fig6/rate_hz=512/samples=100");
+  EXPECT_EQ(specs[1].name, "fig6/rate_hz=1024/samples=100");
+  EXPECT_EQ(specs[0].probe_params.find("rate_hz")->as_u64(), 512u);
+  EXPECT_EQ(specs[1].probe_params.find("rate_hz")->as_u64(), 1024u);
+  EXPECT_EQ(specs[0].probe_params.find("samples")->as_u64(), 100u);
+}
+
+TEST(ScenarioRunner, RunSeedsFansOut) {
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.002;
+  config::ScenarioRunner runner(ro);
+  const auto rs = runner.run_seeds(spec_of("fig6"), 2003, 3);
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_NE(rs[0].seed, rs[1].seed);
+  EXPECT_NE(rs[1].seed, rs[2].seed);
+}
+
+// ---- seed derivation --------------------------------------------------------
+
+TEST(DeriveSeed, StableDistinctAndRootSensitive) {
+  const auto a = sim::derive_seed(2003, "fig6");
+  EXPECT_EQ(a, sim::derive_seed(2003, "fig6"));  // deterministic
+  EXPECT_NE(a, sim::derive_seed(2003, "fig7"));  // label-sensitive
+  EXPECT_NE(a, sim::derive_seed(2004, "fig6"));  // root-sensitive
+  EXPECT_NE(sim::derive_seed(0, "a"), sim::derive_seed(0, "b"));
+}

@@ -23,10 +23,12 @@ import json
 import os
 import subprocess
 import sys
+import time
 from datetime import datetime, timezone
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BIN = os.path.join(REPO_ROOT, "build", "bench", "microbench")
+DEFAULT_SHIELDCTL = os.path.join(REPO_ROOT, "build", "tools", "shieldctl")
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_micro.json")
 
 
@@ -64,6 +66,26 @@ def run_bench(binary, bench_filter, min_time):
             "iterations": b["iterations"],
         }
     return report.get("context", {}), benchmarks
+
+
+def run_scenario_throughput(shieldctl):
+    """End-to-end throughput of the scenario layer: wall-clock the whole
+    registry at smoke scale through the parallel runner and report
+    scenarios/min. Complements the per-hot-path microbenchmarks — a
+    regression here that they miss means the runner itself (dispatch,
+    caching, serialization) got slower."""
+    if not os.path.exists(shieldctl):
+        return None
+    cmd = [shieldctl, "run", "--all", "--smoke", "--json"]
+    start = time.monotonic()
+    raw = subprocess.check_output(cmd, text=True)
+    elapsed = time.monotonic() - start
+    count = len(json.loads(raw))
+    return {
+        "scenarios": count,
+        "elapsed_s": round(elapsed, 3),
+        "scenarios_per_min": round(60.0 * count / elapsed, 1),
+    }
 
 
 def compare(history):
@@ -120,6 +142,10 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bin", default=DEFAULT_BIN,
                     help="microbench binary (default: build/bench/microbench)")
+    ap.add_argument("--shieldctl", default=DEFAULT_SHIELDCTL,
+                    help="shieldctl binary for the scenario-throughput "
+                         "metric (default: build/tools/shieldctl; skipped "
+                         "when missing)")
     ap.add_argument("--out", default=DEFAULT_OUT,
                     help="history file (default: BENCH_micro.json)")
     ap.add_argument("--label", default="", help="entry label, e.g. 'pr1'")
@@ -149,7 +175,8 @@ def main():
         return 1
 
     context, benchmarks = run_bench(args.bin, args.filter, args.min_time)
-    history.append({
+    scenario_throughput = run_scenario_throughput(args.shieldctl)
+    entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "git_rev": git_rev(),
         "label": args.label,
@@ -159,12 +186,19 @@ def main():
             "build_type": context.get("library_build_type"),
         },
         "benchmarks": benchmarks,
-    })
+    }
+    if scenario_throughput is not None:
+        entry["scenario_throughput"] = scenario_throughput
+    history.append(entry)
     with open(args.out, "w") as f:
         json.dump(history, f, indent=2)
         f.write("\n")
     print(f"recorded {len(benchmarks)} benchmarks to {args.out} "
           f"(entry #{len(history)})")
+    if scenario_throughput is not None:
+        print(f"scenario throughput: {scenario_throughput['scenarios']} "
+              f"scenarios in {scenario_throughput['elapsed_s']} s "
+              f"({scenario_throughput['scenarios_per_min']}/min)")
     return 0
 
 

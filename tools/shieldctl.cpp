@@ -1,8 +1,11 @@
 // shieldctl — command-line front end for the shieldsim library.
 //
-//   shieldctl list                      list built-in experiments
-//   shieldctl run fig6 [--seed N] [--scale X]
-//                                       run one experiment, print its figure
+//   shieldctl list [--group G]          list registry scenarios
+//   shieldctl describe <scenario>       print a scenario's spec JSON + digest
+//   shieldctl run <scenario>... [--jobs N] [--json] [--smoke]
+//   shieldctl run --all [--jobs N] [--json] [--smoke]
+//                                       run scenarios (in parallel with
+//                                       --jobs), print figures or JSON
 //   shieldctl demo [--seconds S]        boot a loaded RedHawk box, shield
 //                                       CPU 1 live via /proc, show reports
 //   shieldctl inspect [--seconds S]     run stress-kernel and print the
@@ -11,8 +14,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "config/experiment.h"
+#include "config/scenario_runner.h"
 #include "kernel/stats_report.h"
 #include "shieldsim.h"
 
@@ -20,9 +25,177 @@ using namespace sim::literals;
 
 namespace {
 
-struct Args {
+void usage(const char* argv0, std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage:\n"
+      "  %s list [--group G]\n"
+      "  %s describe <scenario>\n"
+      "  %s run <scenario>... [options]\n"
+      "  %s run --all [options]\n"
+      "  %s demo [--seconds S] [--seed N]\n"
+      "  %s inspect [--seconds S] [--seed N]\n"
+      "run options:\n"
+      "  --jobs N        worker threads (default: all cores)\n"
+      "  --seed N        root RNG seed (default 2003; per-scenario seeds\n"
+      "                  derive from it by name)\n"
+      "  --scale X       multiply sample counts / fixed horizons by X\n"
+      "  --smoke         shorthand for --scale 0.01\n"
+      "  --json          print {spec, result} JSON per scenario instead of\n"
+      "                  the rendered figure\n"
+      "  --cache-dir D   persist results under D keyed by (digest, seed,\n"
+      "                  scale); later runs reuse them\n",
+      argv0, argv0, argv0, argv0, argv0, argv0);
+}
+
+[[noreturn]] void bad_arg(char** argv, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", argv[0], what);
+  usage(argv[0], stderr);
+  std::exit(2);
+}
+
+struct RunArgs {
+  std::vector<std::string> names;
+  bool all = false;
+  bool json = false;
   std::uint64_t seed = 2003;
   double scale = 1.0;
+  unsigned jobs = 0;
+  std::string cache_dir;
+};
+
+RunArgs parse_run(int argc, char** argv, int from) {
+  RunArgs a;
+  const auto need_value = [&](int i) {
+    if (i + 1 >= argc) {
+      bad_arg(argv, (std::string("missing value for ") + argv[i]).c_str());
+    }
+  };
+  for (int i = from; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all") == 0) {
+      a.all = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      a.json = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      a.scale = 0.01;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      need_value(i);
+      a.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      need_value(i);
+      a.scale = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--jobs") == 0) {
+      need_value(i);
+      a.jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      need_value(i);
+      a.cache_dir = argv[++i];
+    } else if (argv[i][0] == '-') {
+      bad_arg(argv, (std::string("unknown option '") + argv[i] + "'").c_str());
+    } else {
+      a.names.emplace_back(argv[i]);
+    }
+  }
+  return a;
+}
+
+int cmd_list(int argc, char** argv) {
+  std::string group;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--group") == 0 && i + 1 < argc) {
+      group = argv[++i];
+    } else {
+      bad_arg(argv, (std::string("unknown option '") + argv[i] + "'").c_str());
+    }
+  }
+  const auto& reg = config::ScenarioRegistry::builtin();
+  std::printf("built-in scenarios:\n");
+  for (const auto& s : reg.all()) {
+    if (!group.empty() && s.group != group) continue;
+    std::printf("  %-28s [%-10s] %s\n", s.name.c_str(), s.group.c_str(),
+                s.title.c_str());
+  }
+  return 0;
+}
+
+int cmd_describe(const std::string& name) {
+  const auto* s = config::ScenarioRegistry::builtin().find(name);
+  if (s == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try: shieldctl list)\n",
+                 name.c_str());
+    return 1;
+  }
+  std::printf("%s\n", s->to_json().dump(2).c_str());
+  std::printf("digest: %s\n", s->digest().c_str());
+  return 0;
+}
+
+int cmd_run(const RunArgs& a) {
+  const auto& reg = config::ScenarioRegistry::builtin();
+  std::vector<config::ScenarioSpec> specs;
+  if (a.all) {
+    specs = reg.all();
+  } else {
+    if (a.names.empty()) {
+      std::fprintf(stderr, "run: no scenario names (or --all) given\n");
+      return 2;
+    }
+    for (const auto& n : a.names) {
+      const auto* s = reg.find(n);
+      if (s == nullptr) {
+        std::fprintf(stderr, "unknown scenario '%s' (try: shieldctl list)\n",
+                     n.c_str());
+        return 1;
+      }
+      specs.push_back(*s);
+    }
+  }
+
+  config::ScenarioRunner::Options ro;
+  ro.jobs = a.jobs;
+  ro.scale = a.scale;
+  ro.cache_dir = a.cache_dir;
+  config::ScenarioRunner runner(ro);
+
+  if (!a.json) {
+    std::printf("running %zu scenario%s (seed %llu, scale %g)...\n",
+                specs.size(), specs.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(a.seed), a.scale);
+  }
+  const auto results = runner.run_batch(specs, a.seed);
+
+  bool all_complete = true;
+  if (a.json) {
+    // One {spec, result} object per scenario: everything needed to
+    // re-execute or verify the run round-trips through this output.
+    auto arr = config::json::Value::array();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      auto entry = config::json::Value::object();
+      entry.set("spec", specs[i].to_json());
+      entry.set("result", results[i].to_json());
+      arr.push(std::move(entry));
+      all_complete = all_complete && results[i].probe.complete;
+    }
+    std::printf("%s\n", arr.dump(2).c_str());
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      std::fputs(results[i].render(specs[i]).c_str(), stdout);
+      std::printf("(%llu simulator events%s)\n",
+                  static_cast<unsigned long long>(results[i].events),
+                  results[i].from_cache ? ", cached" : "");
+      all_complete = all_complete && results[i].probe.complete;
+    }
+  }
+  if (!all_complete) {
+    std::fprintf(stderr,
+                 "warning: some scenarios did not reach their sample "
+                 "targets inside the horizon\n");
+  }
+  return all_complete ? 0 : 1;
+}
+
+struct Args {
+  std::uint64_t seed = 2003;
   double seconds = 10.0;
 
   static Args parse(int argc, char** argv, int from) {
@@ -30,39 +203,16 @@ struct Args {
     for (int i = from; i < argc; ++i) {
       if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         a.seed = std::strtoull(argv[++i], nullptr, 10);
-      } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
-        a.scale = std::strtod(argv[++i], nullptr);
       } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
         a.seconds = std::strtod(argv[++i], nullptr);
+      } else {
+        bad_arg(argv,
+                (std::string("unknown option '") + argv[i] + "'").c_str());
       }
     }
     return a;
   }
 };
-
-int cmd_list() {
-  std::printf("built-in experiments:\n");
-  for (const auto& e : config::ExperimentRegistry::builtin().all()) {
-    std::printf("  %-16s %s\n", e.name().c_str(), e.description().c_str());
-  }
-  return 0;
-}
-
-int cmd_run(const std::string& name, const Args& a) {
-  const auto* e = config::ExperimentRegistry::builtin().find(name);
-  if (e == nullptr) {
-    std::fprintf(stderr, "unknown experiment '%s' (try: shieldctl list)\n",
-                 name.c_str());
-    return 1;
-  }
-  std::printf("running %s (seed %llu, scale %.2f)...\n", name.c_str(),
-              static_cast<unsigned long long>(a.seed), a.scale);
-  const auto result = e->run(a.seed, a.scale);
-  std::fputs(result.render().c_str(), stdout);
-  std::printf("(%llu simulator events)\n",
-              static_cast<unsigned long long>(result.events));
-  return 0;
-}
 
 int cmd_demo(const Args& a) {
   config::Platform p(config::MachineConfig::dual_p4_xeon_2000_rcim(),
@@ -115,30 +265,23 @@ int cmd_inspect(const Args& a) {
   return 0;
 }
 
-void usage(const char* argv0) {
-  std::printf(
-      "usage:\n"
-      "  %s list\n"
-      "  %s run <experiment> [--seed N] [--scale X]\n"
-      "  %s demo [--seconds S] [--seed N]\n"
-      "  %s inspect [--seconds S] [--seed N]\n",
-      argv0, argv0, argv0, argv0);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage(argv[0]);
+    usage(argv[0], stderr);
     return 1;
   }
   const std::string cmd = argv[1];
-  if (cmd == "list") return cmd_list();
-  if (cmd == "run" && argc >= 3) {
-    return cmd_run(argv[2], Args::parse(argc, argv, 3));
-  }
+  if (cmd == "list") return cmd_list(argc, argv);
+  if (cmd == "describe" && argc >= 3) return cmd_describe(argv[2]);
+  if (cmd == "run") return cmd_run(parse_run(argc, argv, 2));
   if (cmd == "demo") return cmd_demo(Args::parse(argc, argv, 2));
   if (cmd == "inspect") return cmd_inspect(Args::parse(argc, argv, 2));
-  usage(argv[0]);
+  if (cmd == "--help" || cmd == "help") {
+    usage(argv[0], stdout);
+    return 0;
+  }
+  usage(argv[0], stderr);
   return 1;
 }

@@ -15,6 +15,12 @@ cmake --preset default
 cmake --build --preset default -j "${jobs}"
 ctest --preset default
 
+# Whole-registry smoke: every built-in scenario through the parallel
+# ScenarioRunner at 1% scale. Exits nonzero when any scenario misses its
+# sample target, so registry rot (bad spec, broken preset token) fails
+# verify even though no unit test names that scenario.
+./build/tools/shieldctl run --all --smoke --jobs "${jobs}" > /dev/null
+
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan
