@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include "config/platform.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "hw/interrupt_controller.h"
 #include "kernel/goodness_scheduler.h"
 #include "kernel/o1_scheduler.h"
 #include "metrics/histogram.h"
@@ -113,6 +116,53 @@ void BM_SimulatedSecondUnderStressKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedSecondUnderStressKernel)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedSecondWithFaultInjector(benchmark::State& state) {
+  // Same scenario with a fault::Injector attached. Arg 0: an empty plan —
+  // the contract is that this is free (no hooks, no RNG draws), and
+  // bench_trend.py gates on the per-event delta against the bench above.
+  // Arg 1: the hostile-device plan, to document what a live plan costs.
+  const bool hostile = state.range(0) != 0;
+  fault::FaultPlan plan;
+  if (hostile) {
+    fault::FaultSpec storm;
+    storm.kind = fault::FaultKind::kIrqStorm;
+    storm.irq = hw::kIrqNic;
+    storm.rate_hz = 10'000.0;
+    plan.faults.push_back(storm);
+    fault::FaultSpec delay;
+    delay.kind = fault::FaultKind::kDeviceDelay;
+    delay.device = "disk";
+    delay.probability = 0.25;
+    delay.min_ns = 2_ms;
+    delay.max_ns = 8_ms;
+    plan.faults.push_back(delay);
+  }
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                       config::KernelConfig::vanilla_2_4_20(), 5);
+    workload::StressKernel{}.install(p);
+    rt::RealfeelTest::Params rp;
+    rp.samples = ~std::uint64_t{0};
+    rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+    p.boot();
+    test.start();
+    fault::Injector injector(p, plan, 5);
+    if (!plan.empty()) injector.arm(p.engine().now() + 1_s);
+    state.ResumeTiming();
+    p.run_for(1_s);
+    events += p.engine().events_executed();
+    benchmark::DoNotOptimize(p.engine().events_executed());
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SimulatedSecondWithFaultInjector)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

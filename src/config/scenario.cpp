@@ -1,5 +1,6 @@
 #include "config/scenario.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -102,6 +103,43 @@ DurationPolicy duration_from_json(const Value& v) {
   return d;
 }
 
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+/// Parse-time override-key check: reject a typo where it was written, with
+/// a did-you-mean hint, instead of letting it ride to validate()/run time.
+void check_override_keys(const Value& overrides) {
+  const std::vector<std::string> known = kernel_override_keys();
+  for (const auto& [key, val] : overrides.members()) {
+    (void)val;
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    std::string best;
+    std::size_t best_d = 4;  // suggest only near-misses
+    for (const auto& k : known) {
+      const std::size_t d = edit_distance(key, k);
+      if (d < best_d) {
+        best_d = d;
+        best = k;
+      }
+    }
+    std::string msg = "unknown kernel override '" + key + "'";
+    if (!best.empty()) msg += " (did you mean '" + best + "'?)";
+    fail(msg);
+  }
+}
+
 }  // namespace
 
 json::Value ScenarioSpec::to_json() const {
@@ -126,6 +164,9 @@ json::Value ScenarioSpec::to_json() const {
   v.set("probe_params", probe_params);
   v.set("shield", shield_to_json(shield));
   v.set("duration", duration_to_json(duration));
+  // Emitted only when set so fault-free scenario digests are unchanged.
+  if (!faults.empty()) v.set("faults", faults.to_json());
+  if (transient) v.set("transient", true);
   v.set("paper_ref", paper_ref);
   return v;
 }
@@ -148,6 +189,7 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
       s.kernel = str_field(val, key);
     } else if (key == "kernel_overrides") {
       if (!val.is_object()) fail("'kernel_overrides' must be an object");
+      check_override_keys(val);
       s.kernel_overrides = val;
     } else if (key == "ht_override") {
       s.ht_override =
@@ -178,6 +220,10 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
       s.shield = shield_from_json(val);
     } else if (key == "duration") {
       s.duration = duration_from_json(val);
+    } else if (key == "faults") {
+      s.faults = fault::FaultPlan::from_json(val);
+    } else if (key == "transient") {
+      s.transient = val.as_bool();
     } else if (key == "paper_ref") {
       s.paper_ref = str_field(val, key);
     } else {
@@ -219,6 +265,7 @@ void ScenarioSpec::validate() const {
   } else if (duration.fixed_ns == 0 && duration.factor <= 0.0) {
     fail("'" + name + "': duration.factor must be positive");
   }
+  faults.validate(name);  // throws naming the offending fault + field
 }
 
 // ---- preset lookups --------------------------------------------------------
@@ -335,6 +382,46 @@ void apply_kernel_overrides(KernelConfig& cfg, const json::Value& overrides) {
       fail("unknown kernel override '" + key + "'");
     }
   }
+}
+
+std::vector<std::string> kernel_override_keys() {
+  // Must cover exactly the keys apply_kernel_overrides accepts;
+  // test_scenario cross-checks by applying every listed key.
+  return {"name",
+          "scheduler",
+          "preempt_kernel",
+          "low_latency",
+          "softirq_daemon_offload",
+          "bkl_ioctl_flag",
+          "shield_support",
+          "rcim_driver",
+          "posix_timers",
+          "default_hyperthreading",
+          "local_timer_period_ns",
+          "tick_cost_min_ns",
+          "tick_cost_max_ns",
+          "syscall_entry_cost_ns",
+          "syscall_exit_cost_ns",
+          "ctx_switch_cost_ns",
+          "irq_entry_cost_ns",
+          "irq_exit_cost_ns",
+          "sched_pick_base_ns",
+          "sched_pick_per_task_ns",
+          "section_min_ns",
+          "section_max_ns",
+          "section_alpha",
+          "syscall_body_max_ns",
+          "body_long_probability",
+          "body_long_alpha",
+          "fd_path_contended_lock_probability",
+          "softirq_budget_in_irq_ns",
+          "softirq_max_restart",
+          "ksoftirqd_chunk_ns",
+          "fault_mean_interval_ns",
+          "fault_cost_min_ns",
+          "fault_cost_max_ns",
+          "other_timeslice_ns",
+          "rr_timeslice_ns"};
 }
 
 }  // namespace config

@@ -16,6 +16,7 @@
 #include "config/json.h"
 #include "config/kernel_config.h"
 #include "config/machine_config.h"
+#include "fault/fault_plan.h"
 
 namespace config {
 
@@ -76,6 +77,16 @@ struct ScenarioSpec {
   ShieldPlan shield;
   DurationPolicy duration;
 
+  /// Optional fault plan executed by fault::Injector during the run. An
+  /// empty plan is the default and is not serialized, so the digests of
+  /// fault-free scenarios are unchanged.
+  fault::FaultPlan faults;
+
+  /// Scenarios whose failures are known-transient (e.g. probabilistic
+  /// fault plans near an assertion boundary): ScenarioRunner retries them
+  /// with a reseeded derived seed before reporting failure.
+  bool transient = false;
+
   /// The paper's reference numbers for this scenario (may be empty).
   std::string paper_ref;
 
@@ -105,5 +116,12 @@ struct ScenarioSpec {
 /// docs/MODEL.md, e.g. "preempt_kernel", "section_max_ns"). Throws
 /// std::runtime_error on an unknown key.
 void apply_kernel_overrides(KernelConfig& cfg, const json::Value& overrides);
+
+/// Every override key apply_kernel_overrides accepts (kept in sync by
+/// test_scenario). ScenarioSpec::from_json rejects unknown keys against
+/// this list at parse time — with a did-you-mean suggestion — so a typo
+/// like "fault_mean_interval_nss" fails where it was written, not at run
+/// time (or never).
+[[nodiscard]] std::vector<std::string> kernel_override_keys();
 
 }  // namespace config

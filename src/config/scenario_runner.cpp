@@ -1,12 +1,17 @@
 #include "config/scenario_runner.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "fault/injector.h"
 #include "metrics/report.h"
 #include "sim/rng.h"
 #include "workload/registry.h"
@@ -157,6 +162,64 @@ bool write_file(const std::string& path, const std::string& content) {
   return ok;
 }
 
+// ---- disk-cache integrity ---------------------------------------------------
+
+/// Cache files are a small envelope around the result payload so partial
+/// writes and bit rot are detectable: the checksum is the content digest of
+/// the payload, recomputed on read. Files in the old bare-result format fail
+/// the check and get recomputed — migration by quarantine.
+constexpr const char* kCacheFormat = "shieldsim-cache-v1";
+
+std::string encode_cache_entry(const ScenarioResult& r) {
+  Value payload = r.to_json();
+  Value env = Value::object();
+  env.set("format", kCacheFormat);
+  env.set("checksum", json::content_digest(payload));
+  env.set("result", std::move(payload));
+  return env.dump(2);
+}
+
+std::optional<ScenarioResult> decode_cache_entry(const std::string& text) {
+  try {
+    const Value env = Value::parse(text);
+    const Value* fmt = env.find("format");
+    const Value* sum = env.find("checksum");
+    const Value* payload = env.find("result");
+    if (fmt == nullptr || sum == nullptr || payload == nullptr) {
+      return std::nullopt;
+    }
+    if (fmt->as_string() != kCacheFormat) return std::nullopt;
+    if (sum->as_string() != json::content_digest(*payload)) return std::nullopt;
+    return ScenarioResult::from_json(*payload);
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncated / not JSON / wrong shapes
+  }
+}
+
+void quarantine_cache_file(const std::string& path) {
+  // Keep the evidence next to the cache rather than deleting it: a
+  // .quarantined file is inert (never read back) but diagnosable.
+  (void)std::rename(path.c_str(), (path + ".quarantined").c_str());
+}
+
+/// mkdir -p. Returns false when the final path is not a directory.
+bool make_dirs(const std::string& path) {
+  std::string dir;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    dir += path[i];
+    const bool boundary = path[i] == '/' || i + 1 == path.size();
+    if (!boundary) continue;
+    std::string component = dir;
+    while (!component.empty() && component.back() == '/') component.pop_back();
+    if (component.empty()) continue;
+    if (::mkdir(component.c_str(), 0755) != 0 && errno != EEXIST) {
+      return false;
+    }
+  }
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
 }  // namespace
 
 // ---- ScenarioResult --------------------------------------------------------
@@ -208,12 +271,75 @@ std::string ScenarioResult::render(const ScenarioSpec& spec) const {
   return os.str();
 }
 
+// ---- RunOutcome / BatchReport ----------------------------------------------
+
+const char* to_string(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kRetried: return "retried";
+    case RunStatus::kFailed: return "failed";
+    case RunStatus::kTimedOut: return "timed_out";
+  }
+  return "failed";
+}
+
+json::Value RunOutcome::to_json() const {
+  Value v = Value::object();
+  v.set("name", name);
+  v.set("status", to_string(status));
+  v.set("attempts", attempts);
+  if (!error.empty()) v.set("error", error);
+  if (result) {
+    v.set("seed", result->seed);
+    v.set("events", result->events);
+  }
+  return v;
+}
+
+bool BatchReport::all_ok() const {
+  for (const auto& o : outcomes) {
+    if (!o.ok()) return false;
+  }
+  return true;
+}
+
+std::size_t BatchReport::count(RunStatus s) const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    if (o.status == s) n++;
+  }
+  return n;
+}
+
+json::Value BatchReport::to_json() const {
+  Value v = Value::object();
+  v.set("schema", "degraded-run-report-v1");
+  v.set("total", outcomes.size());
+  v.set("ok", count(RunStatus::kOk));
+  v.set("retried", count(RunStatus::kRetried));
+  v.set("failed", count(RunStatus::kFailed));
+  v.set("timed_out", count(RunStatus::kTimedOut));
+  v.set("cache_entries_recomputed", cache_entries_recomputed);
+  Value arr = Value::array();
+  for (const auto& o : outcomes) arr.push(o.to_json());
+  v.set("outcomes", std::move(arr));
+  return v;
+}
+
 // ---- ScenarioRunner --------------------------------------------------------
 
 ScenarioRunner::ScenarioRunner(Options opt)
     : opt_(std::move(opt)), sweep_(opt_.jobs) {
   if (!opt_.cache_dir.empty()) {
-    ::mkdir(opt_.cache_dir.c_str(), 0755);  // EEXIST is fine
+    const bool usable =
+        make_dirs(opt_.cache_dir) && ::access(opt_.cache_dir.c_str(), W_OK) == 0;
+    if (!usable) {
+      std::fprintf(stderr,
+                   "warning: cache dir '%s' is not writable; "
+                   "falling back to in-memory cache\n",
+                   opt_.cache_dir.c_str());
+      opt_.cache_dir.clear();
+    }
   }
 }
 
@@ -244,16 +370,17 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
     }
     if (!opt_.cache_dir.empty()) {
       std::string text;
-      if (read_file(cache_path(key), text)) {
-        try {
-          ScenarioResult r = ScenarioResult::from_json(Value::parse(text));
-          r.from_cache = true;
+      const std::string path = cache_path(key);
+      if (read_file(path, text)) {
+        if (auto cached = decode_cache_entry(text)) {
+          cached->from_cache = true;
           const std::scoped_lock hold(cache_mutex_);
-          memory_cache_[key] = r;
-          return r;
-        } catch (const std::exception&) {
-          // Corrupt cache entry: fall through and recompute.
+          memory_cache_[key] = *cached;
+          return *cached;
         }
+        // Truncated, corrupt or checksum-mismatched entry: never trust it.
+        quarantine_cache_file(path);
+        cache_recomputed_.fetch_add(1);
       }
     }
   }
@@ -263,7 +390,7 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
     const std::scoped_lock hold(cache_mutex_);
     memory_cache_[key] = r;
     if (!opt_.cache_dir.empty()) {
-      write_file(cache_path(key), r.to_json().dump(2));
+      write_file(cache_path(key), encode_cache_entry(r));
     }
   }
   return r;
@@ -299,7 +426,22 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
                   spec.duration.factor) +
               spec.duration.margin_ns;
   }
-  p.run_for(horizon);
+  if (horizon <= 0) {
+    throw std::runtime_error(
+        "scenario '" + spec.name +
+        "': computed horizon is zero — check the duration policy (and "
+        "--scale; scaling a fixed horizon down to nothing counts)");
+  }
+
+  std::unique_ptr<fault::Injector> injector;
+  if (!spec.faults.empty()) {
+    // The injector derives its own RNG stream from the scenario seed, so a
+    // fault-free spec and an empty plan produce bit-identical runs.
+    injector = std::make_unique<fault::Injector>(p, spec.faults, seed);
+    injector->arm(p.engine().now() + horizon);
+  }
+
+  run_to_horizon(spec, p, horizon);
 
   if (hooks.finished) hooks.finished(p, *probe);
 
@@ -311,6 +453,81 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
   r.probe = probe->result();
   r.events = p.engine().events_executed();
   return r;
+}
+
+void ScenarioRunner::run_to_horizon(const ScenarioSpec& spec, Platform& p,
+                                    sim::Duration horizon) const {
+  const bool watchdog = opt_.max_events > 0 || opt_.wall_limit_s > 0.0;
+  if (!watchdog) {
+    p.run_for(horizon);  // the zero-overhead path every existing caller gets
+    return;
+  }
+  const std::uint64_t start_events = p.engine().events_executed();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const sim::Time end = p.engine().now() + horizon;
+  // Slice the horizon so the budgets are checked often enough to matter but
+  // rarely enough that the loop itself is noise.
+  const auto slice = std::max<sim::Duration>(1, horizon / 64);
+  while (p.engine().now() < end) {
+    p.run_until(std::min<sim::Time>(end, p.engine().now() + slice));
+    if (opt_.max_events > 0 &&
+        p.engine().events_executed() - start_events > opt_.max_events) {
+      throw ScenarioTimeout(
+          "scenario '" + spec.name + "': exceeded the event watchdog (" +
+          std::to_string(opt_.max_events) + " simulated events) at t=" +
+          std::to_string(p.engine().now()) + "ns");
+    }
+    if (opt_.wall_limit_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - wall_start;
+      if (elapsed.count() > opt_.wall_limit_s) {
+        throw ScenarioTimeout(
+            "scenario '" + spec.name + "': exceeded the wall-clock watchdog (" +
+            std::to_string(opt_.wall_limit_s) + "s) at t=" +
+            std::to_string(p.engine().now()) + "ns");
+      }
+    }
+  }
+}
+
+RunOutcome ScenarioRunner::run_outcome(const ScenarioSpec& spec,
+                                       std::uint64_t seed) {
+  RunOutcome out;
+  out.name = spec.name;
+  const int allowed = spec.transient ? std::max(1, opt_.max_attempts) : 1;
+  std::uint64_t attempt_seed = seed;
+  for (int attempt = 1; attempt <= allowed; ++attempt) {
+    out.attempts = attempt;
+    try {
+      out.result = run(spec, attempt_seed);
+      out.status = attempt > 1 ? RunStatus::kRetried : RunStatus::kOk;
+      out.error.clear();
+      return out;
+    } catch (const ScenarioTimeout& e) {
+      out.status = RunStatus::kTimedOut;
+      out.error = e.what();
+    } catch (const std::exception& e) {
+      out.status = RunStatus::kFailed;
+      out.error = e.what();
+    }
+    // Reseed deterministically off the original seed, not the failed one,
+    // so retry N of a spec is the same run no matter how earlier attempts
+    // interleaved across worker threads.
+    attempt_seed = sim::derive_seed(seed, "retry#" + std::to_string(attempt));
+  }
+  return out;
+}
+
+BatchReport ScenarioRunner::run_batch_report(
+    const std::vector<ScenarioSpec>& specs, std::uint64_t root_seed) {
+  BatchReport report;
+  // run_outcome never throws, so one hostile spec cannot sink the batch the
+  // way run_batch's first-exception-wins rethrow does.
+  report.outcomes = sweep_.map<RunOutcome>(specs.size(), [&](std::size_t i) {
+    return run_outcome(specs[i], sim::derive_seed(root_seed, specs[i].name));
+  });
+  report.cache_entries_recomputed = cache_recomputed_.load();
+  return report;
 }
 
 std::vector<ScenarioResult> ScenarioRunner::run_batch(

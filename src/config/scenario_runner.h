@@ -8,11 +8,14 @@
 // optionally on disk) keyed by (spec digest, seed, scale).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,6 +49,51 @@ struct ScenarioResult {
   [[nodiscard]] std::string render(const ScenarioSpec& spec) const;
 };
 
+/// Thrown when a run blows through its watchdog budget (simulated-event
+/// count or wall-clock seconds). Distinct from std::runtime_error so batch
+/// reports can classify it as timed_out rather than failed.
+class ScenarioTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// How one spec in a batch ended up.
+enum class RunStatus {
+  kOk,        ///< first attempt succeeded
+  kRetried,   ///< succeeded after >= 1 reseeded retry (transient specs)
+  kFailed,    ///< structured failure (validation, probe, assertion...)
+  kTimedOut,  ///< watchdog fired on the final attempt
+};
+[[nodiscard]] const char* to_string(RunStatus s);
+
+/// Per-spec record in a degraded-run batch report.
+struct RunOutcome {
+  std::string name;
+  RunStatus status = RunStatus::kOk;
+  int attempts = 1;
+  std::string error;  ///< what() of the last failure (empty on success)
+  std::optional<ScenarioResult> result;
+
+  [[nodiscard]] bool ok() const {
+    return status == RunStatus::kOk || status == RunStatus::kRetried;
+  }
+  [[nodiscard]] json::Value to_json() const;
+};
+
+/// The degraded-run report for a whole batch: every spec gets an outcome
+/// even when some fail — callers decide what a partial batch is worth.
+struct BatchReport {
+  std::vector<RunOutcome> outcomes;
+  /// Disk-cache entries that failed integrity checks and were quarantined
+  /// and recomputed during this runner's lifetime.
+  std::uint64_t cache_entries_recomputed = 0;
+
+  [[nodiscard]] bool all_ok() const;
+  [[nodiscard]] std::size_t count(RunStatus s) const;
+  /// Schema: see docs/MODEL.md §"Degraded-run report".
+  [[nodiscard]] json::Value to_json() const;
+};
+
 class ScenarioRunner {
  public:
   struct Options {
@@ -57,7 +105,18 @@ class ScenarioRunner {
     /// In-memory result cache keyed by (digest, seed, scale).
     bool cache = true;
     /// Also persist results under this directory (empty = memory only).
+    /// Created (recursively) if missing; if it ends up unwritable the
+    /// runner warns once on stderr and falls back to memory-only caching.
     std::string cache_dir;
+    /// Watchdog: abort a run (ScenarioTimeout) after this many simulated
+    /// events (0 = unlimited).
+    std::uint64_t max_events = 0;
+    /// Watchdog: abort a run (ScenarioTimeout) after this much wall-clock
+    /// time (0 = unlimited).
+    double wall_limit_s = 0.0;
+    /// Attempts for specs flagged `transient` (reseeded per retry); specs
+    /// not flagged always get exactly one attempt.
+    int max_attempts = 2;
   };
 
   /// Observation points for runs that need more than the cacheable result
@@ -90,9 +149,27 @@ class ScenarioRunner {
   std::vector<ScenarioResult> run_seeds(const ScenarioSpec& spec,
                                         std::uint64_t root_seed, int repeats);
 
+  /// Like run(), but never throws: failures, timeouts and (for transient
+  /// specs) bounded reseeded retries are folded into the outcome record.
+  RunOutcome run_outcome(const ScenarioSpec& spec, std::uint64_t seed);
+
+  /// Hardened batch: every spec runs to an outcome regardless of other
+  /// specs failing; the report carries per-spec status plus cache-repair
+  /// accounting. Seeds derive like run_batch's.
+  BatchReport run_batch_report(const std::vector<ScenarioSpec>& specs,
+                               std::uint64_t root_seed);
+
+  /// Disk-cache entries quarantined + recomputed so far (integrity check
+  /// failures: truncated writes, corruption, checksum mismatches).
+  [[nodiscard]] std::uint64_t cache_entries_recomputed() const {
+    return cache_recomputed_.load();
+  }
+
  private:
   ScenarioResult run_uncached(const ScenarioSpec& spec, std::uint64_t seed,
                               const Hooks& hooks);
+  void run_to_horizon(const ScenarioSpec& spec, Platform& p,
+                      sim::Duration horizon) const;
   [[nodiscard]] std::string cache_key(const std::string& digest,
                                       std::uint64_t seed) const;
   [[nodiscard]] std::string cache_path(const std::string& key) const;
@@ -101,6 +178,7 @@ class ScenarioRunner {
   bench::SweepRunner sweep_;
   std::mutex cache_mutex_;
   std::map<std::string, ScenarioResult> memory_cache_;
+  std::atomic<std::uint64_t> cache_recomputed_{0};
 };
 
 /// Expand a parameter grid over a base spec: `grid` is a JSON object

@@ -1,0 +1,210 @@
+#include "fault/fault_plan.h"
+
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "hw/types.h"
+
+namespace fault {
+namespace {
+
+using config::json::Value;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("fault plan: " + what);
+}
+
+const char* const kLockTokens[] = {"bkl",  "fs",   "dcache",     "rtc",
+                                   "socket", "pipe", "mm",
+                                   "io-request", "rcim"};
+static_assert(std::size(kLockTokens) ==
+              static_cast<std::size_t>(kernel::LockId::kCount));
+
+const char* const kDeviceTokens[] = {"disk", "nic", "rtc", "rcim"};
+
+bool known_lock(const std::string& token) {
+  for (const char* t : kLockTokens) {
+    if (token == t) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+kernel::LockId lock_from_token(const std::string& token) {
+  for (std::size_t i = 0; i < std::size(kLockTokens); ++i) {
+    if (token == kLockTokens[i]) return static_cast<kernel::LockId>(i);
+  }
+  fail("unknown lock token '" + token + "'");
+}
+
+namespace {
+
+bool known_device(const std::string& token) {
+  for (const char* t : kDeviceTokens) {
+    if (token == t) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kIrqStorm: return "irq-storm";
+    case FaultKind::kSpuriousIrq: return "spurious-irq";
+    case FaultKind::kLostIrq: return "lost-irq";
+    case FaultKind::kDuplicateIrq: return "duplicate-irq";
+    case FaultKind::kCpuStall: return "cpu-stall";
+    case FaultKind::kClockDrift: return "clock-drift";
+    case FaultKind::kDeviceDelay: return "device-delay";
+    case FaultKind::kSoftirqFlood: return "softirq-flood";
+    case FaultKind::kLockHolderDelay: return "lock-holder-delay";
+  }
+  return "irq-storm";
+}
+
+FaultKind fault_kind_from(const std::string& token) {
+  if (token == "irq-storm") return FaultKind::kIrqStorm;
+  if (token == "spurious-irq") return FaultKind::kSpuriousIrq;
+  if (token == "lost-irq") return FaultKind::kLostIrq;
+  if (token == "duplicate-irq") return FaultKind::kDuplicateIrq;
+  if (token == "cpu-stall") return FaultKind::kCpuStall;
+  if (token == "clock-drift") return FaultKind::kClockDrift;
+  if (token == "device-delay") return FaultKind::kDeviceDelay;
+  if (token == "softirq-flood") return FaultKind::kSoftirqFlood;
+  if (token == "lock-holder-delay") return FaultKind::kLockHolderDelay;
+  fail("unknown fault kind '" + token + "'");
+}
+
+config::json::Value FaultSpec::to_json() const {
+  Value v = Value::object();
+  v.set("kind", to_string(kind));
+  if (start != 0) v.set("start_ns", start);
+  if (duration != 0) v.set("duration_ns", duration);
+  if (irq >= 0) v.set("irq", irq);
+  if (cpu >= 0) v.set("cpu", cpu);
+  if (rate_hz != 0.0) v.set("rate_hz", rate_hz);
+  if (probability != 0.0) v.set("probability", probability);
+  if (min_ns != 0) v.set("min_ns", min_ns);
+  if (max_ns != 0) v.set("max_ns", max_ns);
+  if (drift != 0.0) v.set("drift", drift);
+  if (!device.empty()) v.set("device", device);
+  if (!lock.empty()) v.set("lock", lock);
+  if (work_ns != 0) v.set("work_ns", work_ns);
+  return v;
+}
+
+FaultSpec FaultSpec::from_json(const config::json::Value& v) {
+  if (!v.is_object()) fail("fault entry must be a JSON object");
+  FaultSpec f;
+  bool have_kind = false;
+  for (const auto& [key, val] : v.members()) {
+    if (key == "kind") {
+      f.kind = fault_kind_from(val.as_string());
+      have_kind = true;
+    } else if (key == "start_ns") {
+      f.start = val.as_u64();
+    } else if (key == "duration_ns") {
+      f.duration = val.as_u64();
+    } else if (key == "irq") {
+      f.irq = static_cast<int>(val.as_i64());
+    } else if (key == "cpu") {
+      f.cpu = static_cast<int>(val.as_i64());
+    } else if (key == "rate_hz") {
+      f.rate_hz = val.as_double();
+    } else if (key == "probability") {
+      f.probability = val.as_double();
+    } else if (key == "min_ns") {
+      f.min_ns = val.as_u64();
+    } else if (key == "max_ns") {
+      f.max_ns = val.as_u64();
+    } else if (key == "drift") {
+      f.drift = val.as_double();
+    } else if (key == "device") {
+      f.device = val.as_string();
+    } else if (key == "lock") {
+      f.lock = val.as_string();
+    } else if (key == "work_ns") {
+      f.work_ns = val.as_u64();
+    } else {
+      fail("unknown fault key '" + key + "'");
+    }
+  }
+  if (!have_kind) fail("fault entry has no 'kind'");
+  return f;
+}
+
+config::json::Value FaultPlan::to_json() const {
+  Value arr = Value::array();
+  for (const auto& f : faults) arr.push(f.to_json());
+  return arr;
+}
+
+FaultPlan FaultPlan::from_json(const config::json::Value& v) {
+  if (!v.is_array()) fail("'faults' must be an array");
+  FaultPlan plan;
+  for (const auto& e : v.items()) plan.faults.push_back(FaultSpec::from_json(e));
+  return plan;
+}
+
+void FaultPlan::validate(const std::string& context) const {
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& f = faults[i];
+    const std::string where = "'" + context + "' fault #" + std::to_string(i) +
+                              " (" + to_string(f.kind) + "): ";
+    const auto need = [&](bool ok, const char* what) {
+      if (!ok) fail(where + what);
+    };
+    const bool needs_irq = f.kind == FaultKind::kIrqStorm ||
+                           f.kind == FaultKind::kSpuriousIrq ||
+                           f.kind == FaultKind::kLostIrq ||
+                           f.kind == FaultKind::kDuplicateIrq;
+    if (needs_irq) {
+      need(f.irq >= 0 && f.irq < hw::kMaxIrq,
+           "'irq' must be in [0, 24)");
+    }
+    switch (f.kind) {
+      case FaultKind::kIrqStorm:
+      case FaultKind::kSpuriousIrq:
+        need(f.rate_hz > 0.0, "'rate_hz' must be positive");
+        break;
+      case FaultKind::kLostIrq:
+      case FaultKind::kDuplicateIrq:
+        need(f.probability > 0.0 && f.probability <= 1.0,
+             "'probability' must be in (0, 1]");
+        break;
+      case FaultKind::kCpuStall:
+        need(f.rate_hz > 0.0, "'rate_hz' must be positive");
+        need(f.min_ns > 0 && f.max_ns >= f.min_ns,
+             "'min_ns'/'max_ns' must satisfy 0 < min <= max");
+        break;
+      case FaultKind::kClockDrift:
+        need(f.drift > -1.0, "'drift' must be greater than -1");
+        need(f.drift != 0.0, "'drift' must be non-zero");
+        break;
+      case FaultKind::kDeviceDelay:
+        need(known_device(f.device),
+             "'device' must be one of disk|nic|rtc|rcim");
+        need(f.probability > 0.0 && f.probability <= 1.0,
+             "'probability' must be in (0, 1]");
+        need(f.min_ns > 0 && f.max_ns >= f.min_ns,
+             "'min_ns'/'max_ns' must satisfy 0 < min <= max");
+        break;
+      case FaultKind::kSoftirqFlood:
+        need(f.rate_hz > 0.0, "'rate_hz' must be positive");
+        need(f.work_ns > 0, "'work_ns' must be positive");
+        break;
+      case FaultKind::kLockHolderDelay:
+        need(known_lock(f.lock),
+             "'lock' must be a known lock token (e.g. 'dcache', 'bkl')");
+        need(f.rate_hz > 0.0, "'rate_hz' must be positive");
+        need(f.min_ns > 0 && f.max_ns >= f.min_ns,
+             "'min_ns'/'max_ns' must satisfy 0 < min <= max");
+        break;
+    }
+  }
+}
+
+}  // namespace fault

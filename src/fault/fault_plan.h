@@ -1,0 +1,102 @@
+// Typed fault specifications.
+//
+// A FaultPlan is pure data: a list of FaultSpec records, each describing one
+// perturbation of the simulated platform (an IRQ storm, a lost-interrupt
+// window, an SMI-like CPU stall, ...). Plans ride on config::ScenarioSpec the
+// same way workloads do — JSON round-trip, content digest, validate() — and
+// are executed by fault::Injector (injector.h), which is deterministic and
+// seed-reproducible like everything else in the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "kernel/kernel_ops.h"
+#include "sim/time.h"
+
+namespace fault {
+
+enum class FaultKind {
+  /// Repeatedly raise one IRQ line at `rate_hz` (hostile device: stuck
+  /// interrupt, misbehaving firmware). Needs: irq, rate_hz.
+  kIrqStorm,
+  /// Raise a line at `rate_hz` with no device event behind it (line glitch;
+  /// the handler runs and finds nothing to do). Needs: irq, rate_hz.
+  kSpuriousIrq,
+  /// Each raise of `irq` is dropped with `probability` (edge lost on the
+  /// wire). Needs: irq, probability.
+  kLostIrq,
+  /// Each raise of `irq` is delivered twice with `probability` (ringing
+  /// edge). Needs: irq, probability.
+  kDuplicateIrq,
+  /// SMI-like stall: at `rate_hz`, steal the CPU (`cpu`, or every CPU when
+  /// -1) for uniform [min_ns, max_ns] — unmaskable by shielding, like real
+  /// system-management mode. Needs: rate_hz, min_ns, max_ns.
+  kCpuStall,
+  /// Scale the local-timer period by (1 + drift) for the window (crystal
+  /// drift / thermal wander). Needs: drift.
+  kClockDrift,
+  /// Device timeout / late completion: with `probability`, a completion or
+  /// periodic fire of `device` is delayed by uniform [min_ns, max_ns].
+  /// Needs: device, probability, min_ns, max_ns.
+  kDeviceDelay,
+  /// Raise `work_ns` of net-rx softirq work at `rate_hz` on `cpu` (or
+  /// round-robin when -1). Needs: rate_hz, work_ns.
+  kSoftirqFlood,
+  /// A saboteur task that grabs `lock` at `rate_hz` and holds it for
+  /// uniform [min_ns, max_ns]. Needs: lock, rate_hz, min_ns, max_ns.
+  kLockHolderDelay,
+};
+
+[[nodiscard]] const char* to_string(FaultKind k);
+/// Throws std::runtime_error on an unknown token.
+[[nodiscard]] FaultKind fault_kind_from(const std::string& token);
+
+/// Map a plan lock token ("bkl", "fs", "dcache", ...) to the kernel lock it
+/// names. Throws std::runtime_error on an unknown token.
+[[nodiscard]] kernel::LockId lock_from_token(const std::string& token);
+
+/// One fault. The field set is flat; which fields are meaningful depends on
+/// `kind` (see the enum comments). validate() enforces the per-kind
+/// requirements.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kIrqStorm;
+
+  /// Activation window in simulated time: [start, start + duration), with
+  /// duration == 0 meaning "until the end of the run".
+  sim::Time start = 0;
+  sim::Duration duration = 0;
+
+  int irq = -1;              ///< target interrupt line
+  int cpu = -1;              ///< target CPU (-1 = all / round-robin)
+  double rate_hz = 0.0;      ///< mean event rate (Poisson arrivals)
+  double probability = 0.0;  ///< per-event trigger probability
+  sim::Duration min_ns = 0;  ///< lower bound of the sampled magnitude
+  sim::Duration max_ns = 0;  ///< upper bound of the sampled magnitude
+  double drift = 0.0;        ///< fractional clock-period error
+  std::string device;        ///< "disk" | "nic" | "rtc" | "rcim"
+  std::string lock;          ///< lock token, e.g. "dcache" (see kernel_ops)
+  sim::Duration work_ns = 0; ///< softirq work per raise
+
+  [[nodiscard]] config::json::Value to_json() const;
+  static FaultSpec from_json(const config::json::Value& v);
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const { return faults.empty(); }
+
+  /// Serializes as a JSON array of fault objects; only non-default fields
+  /// are emitted, so the dump is canonical and digest-stable.
+  [[nodiscard]] config::json::Value to_json() const;
+  static FaultPlan from_json(const config::json::Value& v);
+
+  /// Per-kind requirement checks. Throws std::runtime_error naming the
+  /// offending fault (index + kind) and field; `context` prefixes the
+  /// message (typically the owning scenario's name).
+  void validate(const std::string& context) const;
+};
+
+}  // namespace fault

@@ -1,0 +1,121 @@
+// Deterministic fault-injection engine.
+//
+// An Injector executes a FaultPlan against a config::Platform: it installs
+// hooks on the interrupt controller / devices / local timer and schedules
+// Poisson event chains on the platform's engine. Everything is driven by a
+// dedicated RNG stream derived from the scenario seed, so runs are
+// bit-reproducible and an empty plan perturbs nothing (no hook is installed,
+// no RNG is consumed).
+//
+// Lifecycle: construct after Platform::boot() (and after the probe has set
+// up its tasks), call arm() once with the run horizon, then run the
+// platform. The Injector must outlive the run — its hooks and saboteur
+// behaviors point back into it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/json.h"
+#include "fault/fault_plan.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace config {
+class Platform;
+}
+
+namespace fault {
+
+class Injector {
+ public:
+  /// Counts of what the injector actually did (for tests and the degraded
+  /// run report; also the cheapest way to assert "this fault was live").
+  struct Stats {
+    std::uint64_t storm_raises = 0;     ///< IRQ-storm edges raised
+    std::uint64_t spurious_raises = 0;  ///< spurious edges raised
+    std::uint64_t lost_irqs = 0;        ///< device raises dropped
+    std::uint64_t duplicated_irqs = 0;  ///< extra copies delivered
+    std::uint64_t cpu_stalls = 0;       ///< SMI-like stalls injected
+    std::uint64_t device_delays = 0;    ///< completions delayed
+    std::uint64_t softirq_raises = 0;   ///< flood raises issued
+    std::uint64_t lock_holds = 0;       ///< saboteur critical sections
+    std::uint64_t skipped_specs = 0;    ///< specs that could not be armed
+
+    [[nodiscard]] config::json::Value to_json() const;
+  };
+
+  /// `seed` is the scenario seed; the injector derives its own stream so
+  /// installing a plan never shifts the platform's RNG sequences.
+  Injector(config::Platform& platform, const FaultPlan& plan,
+           std::uint64_t seed);
+  ~Injector();
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Install hooks and schedule the fault event chains. Call exactly once;
+  /// every fault window is clipped to [0, horizon_end).
+  void arm(sim::Time horizon_end);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] bool armed() const { return armed_; }
+
+ private:
+  /// A recurring Poisson event chain for one rate-driven spec.
+  struct Chain {
+    const FaultSpec* spec = nullptr;
+    sim::Time begin = 0;
+    sim::Time end = 0;
+    sim::Duration mean = 0;  ///< mean inter-event gap (1/rate)
+    sim::Rng rng;
+    int rr_cpu = 0;  ///< round-robin cursor for cpu == -1 faults
+  };
+
+  /// A lost/duplicate rule folded into the controller's raise filter.
+  struct FilterRule {
+    int irq = -1;
+    bool lose = false;  ///< true: drop; false: duplicate
+    double probability = 0;
+    sim::Time begin = 0;
+    sim::Time end = 0;
+  };
+
+  /// A device-delay rule folded into one device's fault_delay closure.
+  struct DelayRule {
+    double probability = 0;
+    sim::Duration min_ns = 0;
+    sim::Duration max_ns = 0;
+    sim::Time begin = 0;
+    sim::Time end = 0;
+  };
+
+  void start_chain(std::size_t index);
+  void chain_fire(std::size_t index);
+  void fire_once(Chain& chain);
+  void install_filter();
+  void install_device_delays();
+  sim::Duration sample_device_delay(std::vector<DelayRule>& rules,
+                                    sim::Rng& rng);
+
+  config::Platform& platform_;
+  const FaultPlan& plan_;
+  std::uint64_t seed_;
+  Stats stats_;
+  bool armed_ = false;
+  sim::Time horizon_ = 0;
+
+  std::vector<Chain> chains_;
+  std::vector<FilterRule> filter_rules_;
+  sim::Rng filter_rng_;
+  // Per-device delay rules, keyed by plan token.
+  std::vector<DelayRule> disk_rules_, nic_rules_, rtc_rules_, rcim_rules_;
+  sim::Rng delay_rng_;
+  bool hooked_filter_ = false;
+  bool hooked_disk_ = false, hooked_nic_ = false, hooked_rtc_ = false,
+       hooked_rcim_ = false;
+  bool touched_drift_ = false;
+};
+
+}  // namespace fault

@@ -28,7 +28,9 @@ void DiskDevice::start_next() {
                 : rng_.uniform_duration(2_ms, 9_ms);
   const auto transfer =
       static_cast<sim::Duration>(static_cast<double>(req.bytes) * 25.0);  // 40 MB/s
-  engine_.schedule(mech + transfer, [this, req] { finish(req); });
+  sim::Duration total = mech + transfer;
+  if (fault_delay_) total += fault_delay_();
+  engine_.schedule(total, [this, req] { finish(req); });
 }
 
 void DiskDevice::finish(DiskRequest req) {

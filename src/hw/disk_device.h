@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "hw/interrupt_controller.h"
@@ -32,6 +33,12 @@ class DiskDevice {
   /// Driver-side: collect cookies of completed requests.
   std::vector<std::uint64_t> drain_completions();
 
+  /// Fault hook: extra completion latency sampled per request (device
+  /// timeout / retried command). nullptr clears the hook.
+  void set_fault_delay(std::function<sim::Duration()> fn) {
+    fault_delay_ = std::move(fn);
+  }
+
   [[nodiscard]] std::uint64_t completed_requests() const { return completed_; }
   [[nodiscard]] std::size_t queue_depth() const {
     return queue_.size() + (busy_ ? 1u : 0u);
@@ -46,6 +53,7 @@ class DiskDevice {
   InterruptController& ic_;
   Irq irq_;
   sim::Rng rng_;
+  std::function<sim::Duration()> fault_delay_;
   std::deque<DiskRequest> queue_;
   bool busy_ = false;
   std::vector<std::uint64_t> done_cookies_;

@@ -58,8 +58,12 @@ void InterruptController::raise(Irq irq) {
   SIM_ASSERT(irq >= 0 && irq < kMaxIrq);
   SIM_ASSERT_MSG(static_cast<bool>(deliver_), "no delivery function installed");
   raises_[static_cast<std::size_t>(irq)]++;
-  const CpuId target = route(irq);
-  deliveries_[static_cast<std::size_t>(irq)][static_cast<std::size_t>(target)]++;
+  int copies = 1;
+  if (raise_filter_) {
+    copies = raise_filter_(irq);
+    SIM_ASSERT(copies >= 0);
+    if (copies == 0) return;  // edge lost on the wire: no chain, no delivery
+  }
   sim::ChainTracer& tracer = engine_.chain_tracer();
   if (tracer.enabled()) {
     // One chain per line: a re-raise before the kernel entered the previous
@@ -68,9 +72,14 @@ void InterruptController::raise(Irq irq) {
     tracer.abandon(pending);
     pending = tracer.open("irq" + std::to_string(irq), engine_.now());
   }
-  // APIC message + pin-to-vector latency: a few hundred nanoseconds.
-  const sim::Duration wire = rng_.uniform_duration(200_ns, 600_ns);
-  engine_.schedule(wire, [this, target, irq] { deliver_(target, irq); });
+  for (int c = 0; c < copies; ++c) {
+    const CpuId target = route(irq);
+    deliveries_[static_cast<std::size_t>(irq)]
+               [static_cast<std::size_t>(target)]++;
+    // APIC message + pin-to-vector latency: a few hundred nanoseconds.
+    const sim::Duration wire = rng_.uniform_duration(200_ns, 600_ns);
+    engine_.schedule(wire, [this, target, irq] { deliver_(target, irq); });
+  }
 }
 
 sim::ChainId InterruptController::take_chain(Irq irq) {

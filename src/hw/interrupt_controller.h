@@ -25,11 +25,17 @@ class InterruptController {
   using DeliverFn = std::function<void(CpuId, Irq)>;
   /// Lets routing prefer idle CPUs (lowest-priority delivery heuristic).
   using IdleQueryFn = std::function<bool(CpuId)>;
+  /// Fault hook: invoked per raise, returns how many copies of the edge to
+  /// deliver (0 = lost on the wire, 1 = normal, 2+ = ringing edge). The
+  /// raise is still counted either way — the device did assert the line.
+  using RaiseFilter = std::function<int(Irq)>;
 
   InterruptController(sim::Engine& engine, const Topology& topo);
 
   void set_deliver_fn(DeliverFn fn) { deliver_ = std::move(fn); }
   void set_idle_query(IdleQueryFn fn) { is_idle_ = std::move(fn); }
+  /// Install (or clear, with nullptr) the fault-injection raise filter.
+  void set_raise_filter(RaiseFilter fn) { raise_filter_ = std::move(fn); }
   /// Enable idle-CPU-preferring delivery (not the 2003 default; exposed for
   /// ablation studies of routing policy).
   void set_prefer_idle(bool on) { prefer_idle_ = on; }
@@ -63,6 +69,7 @@ class InterruptController {
   sim::Rng rng_;
   DeliverFn deliver_;
   IdleQueryFn is_idle_;
+  RaiseFilter raise_filter_;
   bool prefer_idle_ = false;
   std::array<CpuMask, kMaxIrq> affinity_{};
   std::array<CpuId, kMaxIrq> last_target_{};

@@ -36,7 +36,13 @@ void LocalTimer::arm(CpuId cpu, sim::Duration delay) {
 
 void LocalTimer::fire(CpuId cpu) {
   ticks_[static_cast<std::size_t>(cpu)]++;
-  arm(cpu, period_);
+  sim::Duration next = period_;
+  if (drift_ != 0.0) {
+    next = static_cast<sim::Duration>(static_cast<double>(period_) *
+                                      (1.0 + drift_));
+    if (next < 1) next = 1;
+  }
+  arm(cpu, next);
   tick_(cpu);
 }
 
@@ -50,6 +56,11 @@ void LocalTimer::set_enabled(CpuId cpu, bool enabled) {
   } else if (started_) {
     arm(cpu, period_);
   }
+}
+
+void LocalTimer::set_drift(double drift) {
+  SIM_ASSERT_MSG(drift > -1.0, "drift would stop or reverse the clock");
+  drift_ = drift;
 }
 
 bool LocalTimer::enabled(CpuId cpu) const {

@@ -37,6 +37,12 @@ class LocalTimer {
   void set_enabled(CpuId cpu, bool enabled);
   [[nodiscard]] bool enabled(CpuId cpu) const;
 
+  /// Fault hook: scale subsequent re-arm periods by (1 + drift), modelling
+  /// crystal error. 0.0 restores the nominal period. Takes effect at each
+  /// CPU's next fire; already-armed ticks are not rescheduled.
+  void set_drift(double drift);
+  [[nodiscard]] double drift() const { return drift_; }
+
   [[nodiscard]] sim::Duration period() const { return period_; }
   [[nodiscard]] std::uint64_t tick_count(CpuId cpu) const;
 
@@ -47,6 +53,7 @@ class LocalTimer {
   sim::Engine& engine_;
   const Topology& topo_;
   sim::Duration period_;
+  double drift_ = 0.0;
   TickFn tick_;
   bool started_ = false;
   std::vector<bool> enabled_;

@@ -21,7 +21,9 @@ sim::Duration NicDevice::transfer_delay(std::uint32_t bytes) const {
 void NicDevice::rx(std::uint32_t bytes) {
   SIM_ASSERT(bytes > 0);
   total_rx_ += bytes;
-  engine_.schedule(transfer_delay(bytes), [this, bytes] {
+  sim::Duration delay = transfer_delay(bytes);
+  if (fault_delay_) delay += fault_delay_();
+  engine_.schedule(delay, [this, bytes] {
     pending_rx_ += bytes;
     ic_.raise(irq_);
   });
@@ -30,7 +32,9 @@ void NicDevice::rx(std::uint32_t bytes) {
 void NicDevice::tx(std::uint32_t bytes) {
   SIM_ASSERT(bytes > 0);
   total_tx_ += bytes;
-  engine_.schedule(transfer_delay(bytes), [this, bytes] {
+  sim::Duration delay = transfer_delay(bytes);
+  if (fault_delay_) delay += fault_delay_();
+  engine_.schedule(delay, [this, bytes] {
     pending_tx_done_ += bytes;
     ic_.raise(irq_);
   });

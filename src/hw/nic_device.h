@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "hw/interrupt_controller.h"
 #include "hw/types.h"
@@ -38,12 +39,19 @@ class NicDevice {
   /// Wire rate used to compute DMA/serialisation delays (default 100 Mbit).
   void set_link_mbps(double mbps);
 
+  /// Fault hook: extra latency sampled per burst before the interrupt is
+  /// raised (DMA stall / descriptor-ring hiccup). nullptr clears the hook.
+  void set_fault_delay(std::function<sim::Duration()> fn) {
+    fault_delay_ = std::move(fn);
+  }
+
  private:
   sim::Duration transfer_delay(std::uint32_t bytes) const;
 
   sim::Engine& engine_;
   InterruptController& ic_;
   Irq irq_;
+  std::function<sim::Duration()> fault_delay_;
   double link_mbps_ = 100.0;
   std::uint32_t pending_rx_ = 0;
   std::uint32_t pending_tx_done_ = 0;

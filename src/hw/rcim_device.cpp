@@ -66,7 +66,9 @@ void RcimDevice::fire() {
   last_fire_ = engine_.now();
   ++fires_;
   ic_.raise(irq_);
-  pending_ = engine_.schedule(period(), [this] { fire(); });
+  sim::Duration next = period();
+  if (fault_delay_) next += fault_delay_();
+  pending_ = engine_.schedule(next, [this] { fire(); });
 }
 
 }  // namespace hw

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 
 #include "hw/interrupt_controller.h"
 #include "hw/types.h"
@@ -45,6 +46,12 @@ class RcimDevice {
   [[nodiscard]] std::uint64_t fire_count() const { return fires_; }
   [[nodiscard]] Irq irq() const { return irq_; }
 
+  /// Fault hook: extra latency sampled per cycle, delaying the next fire
+  /// (late auto-reload). nullptr clears the hook.
+  void set_fault_delay(std::function<sim::Duration()> fn) {
+    fault_delay_ = std::move(fn);
+  }
+
   // ---- external edge-triggered inputs ------------------------------------
   // "The RCIM provides the ability to connect external edge-triggered
   //  device interrupts to the system" (§4). Each input line shares the
@@ -73,6 +80,7 @@ class RcimDevice {
   InterruptController& ic_;
   sim::Duration tick_;
   Irq irq_;
+  std::function<sim::Duration()> fault_delay_;
   bool running_ = false;
   std::uint32_t initial_count_ = 0;
   sim::Time cycle_start_ = 0;

@@ -41,6 +41,7 @@ void RtcDevice::arm() {
     frac_acc_ -= rate;
     period += 1;
   }
+  if (fault_delay_) period += fault_delay_();
   pending_ = engine_.schedule(period, [this] { fire(); });
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "hw/interrupt_controller.h"
 #include "hw/types.h"
@@ -37,6 +38,14 @@ class RtcDevice {
   /// device tracks the sub-nanosecond remainder so long runs don't drift).
   [[nodiscard]] sim::Duration nominal_period() const;
 
+  /// Fault hook: extra latency sampled per cycle, delaying the next fire
+  /// (late completion). The measurement reference (`last_fire`) still
+  /// records the actual fire time, so latency stays well-defined. nullptr
+  /// clears the hook.
+  void set_fault_delay(std::function<sim::Duration()> fn) {
+    fault_delay_ = std::move(fn);
+  }
+
  private:
   void fire();
   void arm();
@@ -44,6 +53,7 @@ class RtcDevice {
   sim::Engine& engine_;
   InterruptController& ic_;
   Irq irq_;
+  std::function<sim::Duration()> fault_delay_;
   int rate_hz_ = 2048;
   bool running_ = false;
   sim::EventId pending_{};

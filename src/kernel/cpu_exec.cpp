@@ -361,6 +361,12 @@ void Kernel::begin_hardirq(hw::CpuId cpu, int vector) {
     cost += rng_.uniform_duration(h.cost_min, h.cost_max);
   } else if (vector == kVectorLocalTimer) {
     cost += rng_.uniform_duration(cfg_.tick_cost_min, cfg_.tick_cost_max);
+  } else if (vector == kVectorSmi) {
+    // System-management mode: the CPU simply disappears for the budgeted
+    // stall — no kernel entry/exit path is involved.
+    cost = cs.smi_stall_budget > 0 ? cs.smi_stall_budget : 500_ns;
+    cs.smi_stall_budget = 0;
+    cs.smi_stalls++;
   } else {
     cost += 500_ns;  // reschedule IPI: acknowledge and return
   }

@@ -186,6 +186,22 @@ void Kernel::register_irq_handler(hw::Irq irq, IrqHandler handler) {
   irq_handlers_[static_cast<std::size_t>(irq)] = std::move(handler);
 }
 
+bool Kernel::irq_handler_registered(hw::Irq irq) const {
+  SIM_ASSERT(irq >= 0 && irq < hw::kMaxIrq);
+  const IrqHandler& h = irq_handlers_[static_cast<std::size_t>(irq)];
+  return static_cast<bool>(h.effects) || !h.name.empty();
+}
+
+void Kernel::inject_cpu_stall(hw::CpuId cpu, sim::Duration stall) {
+  SIM_ASSERT(topo_.valid_cpu(cpu));
+  SIM_ASSERT(stall > 0);
+  cpu_mut(cpu).smi_stall_budget += stall;
+  // The pending-vector list dedups by vector, so back-to-back stalls while
+  // interrupts are masked coalesce into one frame that takes the summed
+  // budget — exactly how piled-up SMIs behave.
+  deliver_vector(cpu, kVectorSmi);
+}
+
 void Kernel::spawn_ksoftirqd(hw::CpuId cpu) {
   CpuState& cs = cpu_mut(cpu);
   cs.ksoftirqd_wq = create_wait_queue("ksoftirqd/" + std::to_string(cpu));

@@ -48,6 +48,9 @@ namespace kernel {
 /// Pseudo interrupt vectors for CPU-local events that bypass the IO-APIC.
 inline constexpr int kVectorLocalTimer = -1;
 inline constexpr int kVectorReschedIpi = -2;
+/// SMI-like stall injected by fault::Injector: unmaskable by shielding,
+/// consumes the CPU's accumulated stall budget (see inject_cpu_stall).
+inline constexpr int kVectorSmi = -3;
 
 /// A registered device interrupt handler: sampled top-half cost plus
 /// effects applied when the handler completes (wakeups, softirq raises).
@@ -100,6 +103,8 @@ struct CpuState {
   std::uint64_t hardirqs = 0;
   sim::Duration spin_wait_time = 0;  ///< time tasks on this CPU spun on locks
   sim::Duration bkl_hold_time = 0;   ///< time the BKL was held from this CPU
+  sim::Duration smi_stall_budget = 0;  ///< pending injected SMI stall time
+  std::uint64_t smi_stalls = 0;        ///< injected stalls taken
 
   [[nodiscard]] bool irqs_enabled() const { return irq_off_depth == 0; }
 };
@@ -135,6 +140,16 @@ class Kernel {
   std::size_t reap_exited();
 
   void register_irq_handler(hw::Irq irq, IrqHandler handler);
+  /// Whether a driver has claimed this line (fault injection uses this to
+  /// avoid raising spurious interrupts on unclaimed lines, which the model
+  /// treats as a fatal "no registered handler" condition).
+  [[nodiscard]] bool irq_handler_registered(hw::Irq irq) const;
+
+  /// Fault hook: steal `stall` of CPU time via an SMI-like frame —
+  /// unmaskable, invisible to the scheduler, survives shielding (real SMIs
+  /// do). Safe while the CPU has interrupts masked: the stall is budgeted
+  /// and taken when interrupts re-enable.
+  void inject_cpu_stall(hw::CpuId cpu, sim::Duration stall);
 
   /// Boot: spawn ksoftirqd threads, arm local timers, make created tasks
   /// runnable, hook the interrupt controller.

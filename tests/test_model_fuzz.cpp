@@ -6,6 +6,9 @@
 
 #include <memory>
 
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "hw/interrupt_controller.h"
 #include "kernel/syscalls.h"
 #include "kernel_test_util.h"
 
@@ -71,6 +74,77 @@ class ChaoticBehavior final : public kernel::Behavior {
   kernel::WaitQueueId shared_wq_;
 };
 
+/// A random-but-valid small FaultPlan: 1-4 specs drawn from every kind the
+/// injector supports, with random windows and moderate rates. The fuzz runs
+/// half its seeds with one of these armed so the injector's hooks and
+/// saboteurs face arbitrary interleavings too.
+fault::FaultPlan random_fault_plan(sim::Rng& rng) {
+  fault::FaultPlan plan;
+  const int n = 1 + static_cast<int>(rng.uniform(0, 3));
+  for (int i = 0; i < n; ++i) {
+    fault::FaultSpec f;
+    if (rng.chance(0.5)) {
+      f.start = rng.uniform_duration(0, 2_s);
+      f.duration = rng.uniform_duration(10_ms, 1_s);
+    }
+    switch (rng.uniform(0, 8)) {
+      case 0:
+        f.kind = fault::FaultKind::kIrqStorm;
+        f.irq = rng.chance(0.5) ? hw::kIrqNic : hw::kIrqDisk;
+        f.rate_hz = 100.0 + static_cast<double>(rng.uniform(0, 4900));
+        break;
+      case 1:
+        f.kind = fault::FaultKind::kSpuriousIrq;
+        f.irq = rng.chance(0.5) ? hw::kIrqNic : hw::kIrqGpu;
+        f.rate_hz = 50.0 + static_cast<double>(rng.uniform(0, 950));
+        break;
+      case 2:
+        f.kind = fault::FaultKind::kLostIrq;
+        f.irq = rng.chance(0.5) ? hw::kIrqNic : hw::kIrqDisk;
+        f.probability = 0.1 + 0.8 * rng.next_double();
+        break;
+      case 3:
+        f.kind = fault::FaultKind::kDuplicateIrq;
+        f.irq = rng.chance(0.5) ? hw::kIrqNic : hw::kIrqDisk;
+        f.probability = 0.1 + 0.8 * rng.next_double();
+        break;
+      case 4:
+        f.kind = fault::FaultKind::kCpuStall;
+        f.rate_hz = 10.0 + static_cast<double>(rng.uniform(0, 190));
+        f.min_ns = 1_us;
+        f.max_ns = rng.uniform_duration(10_us, 300_us);
+        f.cpu = rng.chance(0.5) ? -1 : 1;
+        break;
+      case 5:
+        f.kind = fault::FaultKind::kClockDrift;
+        f.drift = rng.chance(0.5) ? 0.01 : -0.01;
+        break;
+      case 6:
+        f.kind = fault::FaultKind::kDeviceDelay;
+        f.device = rng.chance(0.5) ? "disk" : "nic";
+        f.probability = 0.1 + 0.8 * rng.next_double();
+        f.min_ns = 10_us;
+        f.max_ns = rng.uniform_duration(100_us, 5_ms);
+        break;
+      case 7:
+        f.kind = fault::FaultKind::kSoftirqFlood;
+        f.rate_hz = 100.0 + static_cast<double>(rng.uniform(0, 900));
+        f.work_ns = rng.uniform_duration(1_us, 100_us);
+        break;
+      default:
+        f.kind = fault::FaultKind::kLockHolderDelay;
+        f.lock = rng.chance(0.5) ? "dcache" : "fs";
+        f.rate_hz = 10.0 + static_cast<double>(rng.uniform(0, 90));
+        f.min_ns = 10_us;
+        f.max_ns = rng.uniform_duration(50_us, 1_ms);
+        break;
+    }
+    plan.faults.push_back(std::move(f));
+  }
+  plan.validate("fuzz");  // the generator must only emit valid plans
+  return plan;
+}
+
 struct FuzzParams {
   std::uint64_t seed;
   bool redhawk;
@@ -103,6 +177,12 @@ TEST_P(ModelFuzz, InvariantsHoldUnderChaos) {
   }
 
   p->boot();
+  // Half the seeds also run under a random FaultPlan: injector hooks,
+  // filters and saboteur tasks must uphold the same invariants.
+  fault::FaultPlan plan;
+  if (seed % 2 == 1) plan = random_fault_plan(rng);
+  fault::Injector injector(*p, plan, seed);
+  if (!plan.empty()) injector.arm(p->engine().now() + 4_s);
   // Toggle shielding mid-run on shield-capable kernels.
   if (redhawk) {
     p->engine().schedule(1_s, [&] {

@@ -275,6 +275,270 @@ TEST(ScenarioRunner, RunSeedsFansOut) {
   EXPECT_NE(rs[1].seed, rs[2].seed);
 }
 
+// ---- kernel-override key validation -----------------------------------------
+
+TEST(ScenarioSpec, OverrideTypoIsRejectedAtParseTimeWithSuggestion) {
+  auto v = spec_of("fig6").to_json();
+  auto overrides = config::json::Value::object();
+  overrides.set("fault_mean_interval_nss", 123);  // note the typo
+  v.set("kernel_overrides", std::move(overrides));
+  try {
+    (void)config::ScenarioSpec::from_json(v);
+    FAIL() << "expected the typo to be rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fault_mean_interval_nss"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'fault_mean_interval_ns'"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(ScenarioSpec, EveryAdvertisedOverrideKeyParses) {
+  // kernel_override_keys() is the contract surface: each listed key must be
+  // accepted by from_json's parse-time check.
+  const auto keys = config::kernel_override_keys();
+  EXPECT_GE(keys.size(), 30u);
+  for (const auto& key : keys) {
+    auto v = spec_of("fig6").to_json();
+    auto overrides = config::json::Value::object();
+    overrides.set(key, 1);
+    v.set("kernel_overrides", std::move(overrides));
+    EXPECT_NO_THROW((void)config::ScenarioSpec::from_json(v)) << key;
+  }
+}
+
+// ---- hardened execution -----------------------------------------------------
+
+TEST(ScenarioRunner, ProbeFailureIsAStructuredOutcomeNotAnAbort) {
+  auto s = spec_of("fig6");
+  s.probe = "no-such-probe";
+  config::ScenarioRunner runner;
+  const auto out = runner.run_outcome(s, 1);
+  EXPECT_EQ(out.status, config::RunStatus::kFailed);
+  EXPECT_EQ(out.attempts, 1);
+  EXPECT_FALSE(out.ok());
+  EXPECT_FALSE(out.result.has_value());
+  EXPECT_NE(out.error.find("probe"), std::string::npos) << out.error;
+}
+
+TEST(ScenarioRunner, ZeroHorizonIsAStructuredError) {
+  auto s = spec_of("fig6");
+  s.duration.fixed_ns = 100;  // scaled to zero below
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.001;
+  config::ScenarioRunner runner(ro);
+  try {
+    (void)runner.run(s, 1);
+    FAIL() << "expected a zero-horizon error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("horizon is zero"),
+              std::string::npos)
+        << e.what();
+  }
+  const auto out = runner.run_outcome(s, 1);
+  EXPECT_EQ(out.status, config::RunStatus::kFailed);
+}
+
+TEST(ScenarioRunner, EventWatchdogTimesOutAsTimedOut) {
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.max_events = 100;  // far below any real run
+  config::ScenarioRunner runner(ro);
+  EXPECT_THROW((void)runner.run(spec_of("fig6"), 1), config::ScenarioTimeout);
+  const auto out = runner.run_outcome(spec_of("fig6"), 1);
+  EXPECT_EQ(out.status, config::RunStatus::kTimedOut);
+  EXPECT_EQ(out.attempts, 1);  // not transient: no retry
+}
+
+TEST(ScenarioRunner, TransientSpecRetriesWithDerivedSeedAndCanRecover) {
+  // Deterministic "flaky" setup: pre-warm the shared disk cache with the
+  // result the retry seed will ask for, then run under a watchdog so tight
+  // that any fresh simulation times out. Attempt 1 (fresh) times out;
+  // attempt 2 hits the cache and succeeds -> kRetried.
+  const std::string dir = "scenario_cache_retry_test";
+  auto s = spec_of("fig6");
+  s.transient = true;
+  const std::uint64_t seed = 77;
+  const auto retry_seed = sim::derive_seed(seed, "retry#1");
+  config::ScenarioRunner::Options warm;
+  warm.scale = 0.005;
+  warm.cache_dir = dir;
+  {
+    config::ScenarioRunner warmer(warm);
+    (void)warmer.run(s, retry_seed);
+  }
+  auto ro = warm;
+  ro.max_events = 100;
+  config::ScenarioRunner runner(ro);
+  const auto out = runner.run_outcome(s, seed);
+  EXPECT_EQ(out.status, config::RunStatus::kRetried);
+  EXPECT_EQ(out.attempts, 2);
+  EXPECT_TRUE(out.ok());
+  ASSERT_TRUE(out.result.has_value());
+  EXPECT_EQ(out.result->seed, retry_seed);
+  std::remove(
+      (dir + "/" + s.digest() + "-" + std::to_string(retry_seed) + "-0.005.json")
+          .c_str());
+}
+
+TEST(ScenarioRunner, BatchReportRecordsEveryOutcome) {
+  auto bad = spec_of("fig7");
+  bad.name = "fig7-broken";
+  bad.probe = "no-such-probe";
+  const std::vector<config::ScenarioSpec> specs{spec_of("fig6"), bad};
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  config::ScenarioRunner runner(ro);
+  const auto report = runner.run_batch_report(specs, 2003);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.count(config::RunStatus::kOk), 1u);
+  EXPECT_EQ(report.count(config::RunStatus::kFailed), 1u);
+  EXPECT_EQ(report.outcomes[0].name, "fig6");
+  EXPECT_TRUE(report.outcomes[0].ok());
+  EXPECT_EQ(report.outcomes[1].name, "fig7-broken");
+  EXPECT_FALSE(report.outcomes[1].error.empty());
+
+  const auto v = report.to_json();
+  EXPECT_EQ(v.find("schema")->as_string(), "degraded-run-report-v1");
+  EXPECT_EQ(v.find("total")->as_u64(), 2u);
+  EXPECT_EQ(v.find("ok")->as_u64(), 1u);
+  EXPECT_EQ(v.find("failed")->as_u64(), 1u);
+  EXPECT_EQ(v.find("outcomes")->items().size(), 2u);
+}
+
+// ---- cache integrity --------------------------------------------------------
+
+namespace {
+
+std::string cache_file_path(const std::string& dir,
+                            const config::ScenarioSpec& spec,
+                            std::uint64_t seed, const char* scale) {
+  return dir + "/" + spec.digest() + "-" + std::to_string(seed) + "-" + scale +
+         ".json";
+}
+
+}  // namespace
+
+TEST(ScenarioRunner, TruncatedCacheEntryIsQuarantinedAndRecomputed) {
+  const std::string dir = "scenario_cache_corrupt_test";
+  const auto spec = spec_of("fig7");
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.cache_dir = dir;
+  std::string fresh;
+  {
+    config::ScenarioRunner runner(ro);
+    fresh = runner.run(spec, 5).to_json().dump();
+  }
+  const auto path = cache_file_path(dir, spec, 5, "0.005");
+  {  // truncate the entry mid-payload, as a crashed writer would
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"format\":\"shieldsim-cache-v1\",\"checksum\":\"dead", f);
+    std::fclose(f);
+  }
+  {
+    config::ScenarioRunner runner(ro);  // fresh memory cache
+    const auto r = runner.run(spec, 5);
+    EXPECT_FALSE(r.from_cache);  // corrupt data was never trusted
+    EXPECT_EQ(r.to_json().dump(), fresh);
+    EXPECT_EQ(runner.cache_entries_recomputed(), 1u);
+    // The bad bytes were quarantined for post-mortem, and a good entry
+    // took their place.
+    std::FILE* q = std::fopen((path + ".quarantined").c_str(), "r");
+    EXPECT_NE(q, nullptr);
+    if (q != nullptr) std::fclose(q);
+    const auto again = runner.run(spec, 5);
+    EXPECT_TRUE(again.from_cache);
+  }
+  {
+    config::ScenarioRunner runner(ro);  // and it persists for later runners
+    EXPECT_TRUE(runner.run(spec, 5).from_cache);
+    EXPECT_EQ(runner.cache_entries_recomputed(), 0u);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".quarantined").c_str());
+}
+
+TEST(ScenarioRunner, ChecksumMismatchIsQuarantinedAndRecomputed) {
+  const std::string dir = "scenario_cache_bitrot_test";
+  const auto spec = spec_of("fig7");
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.cache_dir = dir;
+  {
+    config::ScenarioRunner runner(ro);
+    (void)runner.run(spec, 6);
+  }
+  const auto path = cache_file_path(dir, spec, 6, "0.005");
+  {  // flip the checksum: valid JSON, wrong integrity
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+    std::fclose(f);
+    const auto pos = content.find("\"checksum\"");
+    ASSERT_NE(pos, std::string::npos);
+    content[content.find(':', pos) + 3] ^= 1;  // corrupt one digest char
+    f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+  {
+    config::ScenarioRunner runner(ro);
+    const auto r = runner.run(spec, 6);
+    EXPECT_FALSE(r.from_cache);
+    EXPECT_EQ(runner.cache_entries_recomputed(), 1u);
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".quarantined").c_str());
+}
+
+TEST(ScenarioRunner, NestedCacheDirIsCreatedRecursively) {
+  const std::string dir = "scenario_cache_nest_test/a/b";
+  const auto spec = spec_of("fig7");
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.cache_dir = dir;
+  {
+    config::ScenarioRunner runner(ro);
+    (void)runner.run(spec, 7);
+  }
+  const auto path = cache_file_path(dir, spec, 7, "0.005");
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr) << path;
+  if (f != nullptr) std::fclose(f);
+  std::remove(path.c_str());
+  std::remove("scenario_cache_nest_test/a/b");
+  std::remove("scenario_cache_nest_test/a");
+  std::remove("scenario_cache_nest_test");
+}
+
+TEST(ScenarioRunner, UnusableCacheDirFallsBackToMemory) {
+  // A cache_dir that collides with an existing *file* cannot be created;
+  // the runner must warn and run memory-only, not crash.
+  const std::string file = "scenario_cache_collision_test";
+  {
+    std::FILE* f = std::fopen(file.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a directory\n", f);
+    std::fclose(f);
+  }
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.cache_dir = file;
+  config::ScenarioRunner runner(ro);
+  const auto a = runner.run(spec_of("fig7"), 8);
+  EXPECT_FALSE(a.from_cache);
+  EXPECT_TRUE(runner.run(spec_of("fig7"), 8).from_cache);  // memory cache
+  std::remove(file.c_str());
+}
+
 // ---- seed derivation --------------------------------------------------------
 
 TEST(DeriveSeed, StableDistinctAndRootSensitive) {

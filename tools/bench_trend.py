@@ -60,12 +60,33 @@ def run_bench(binary, bench_filter, min_time):
     for b in report.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
-        benchmarks[b["name"]] = {
+        entry = {
             "cpu_time": b["cpu_time"],
             "time_unit": b["time_unit"],
             "iterations": b["iterations"],
         }
+        if "events" in b:  # user counter: simulated events per iteration
+            entry["events"] = b["events"]
+        benchmarks[b["name"]] = entry
     return report.get("context", {}), benchmarks
+
+
+def injector_overhead(benchmarks):
+    """What attaching a fault::Injector with an *empty* FaultPlan costs,
+    per simulated event. The design contract is ~zero (no hooks installed,
+    no RNG draws); this keeps it measured instead of assumed."""
+    base = benchmarks.get("BM_SimulatedSecondUnderStressKernel")
+    empty = benchmarks.get("BM_SimulatedSecondWithFaultInjector/0")
+    if not base or not empty or not empty.get("events"):
+        return None
+    if base["time_unit"] != "ms" or empty["time_unit"] != "ms":
+        return None
+    delta_ns = (empty["cpu_time"] - base["cpu_time"]) * 1e6
+    return {
+        "empty_plan_ns_per_event": round(delta_ns / empty["events"], 4),
+        "empty_plan_pct": round(
+            100.0 * (empty["cpu_time"] / base["cpu_time"] - 1.0), 2),
+    }
 
 
 def run_scenario_throughput(shieldctl):
@@ -129,6 +150,14 @@ def check(history, tolerance):
             flag = "  <-- REGRESSION"
         print(f"  {name:<55} {p['cpu_time']:>10.1f} -> {c['cpu_time']:>10.1f} "
               f"{c['time_unit']}  ({(ratio - 1.0) * 100.0:+.1f}%){flag}")
+    # Tighter gate on the injector's empty-plan cost: an inert fault layer
+    # must stay within 2% of the plain run, whatever the general tolerance.
+    inj = cur.get("injector_overhead")
+    if inj is not None and inj["empty_plan_pct"] > 2.0:
+        regressions.append("injector_overhead")
+        print(f"  injector empty-plan overhead {inj['empty_plan_pct']:+.1f}% "
+              f"({inj['empty_plan_ns_per_event']} ns/event) exceeds 2%"
+              "  <-- REGRESSION")
     if regressions:
         print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{tolerance * 100.0:.0f}%: {', '.join(regressions)}")
@@ -189,6 +218,9 @@ def main():
     }
     if scenario_throughput is not None:
         entry["scenario_throughput"] = scenario_throughput
+    overhead = injector_overhead(benchmarks)
+    if overhead is not None:
+        entry["injector_overhead"] = overhead
     history.append(entry)
     with open(args.out, "w") as f:
         json.dump(history, f, indent=2)
@@ -199,6 +231,10 @@ def main():
         print(f"scenario throughput: {scenario_throughput['scenarios']} "
               f"scenarios in {scenario_throughput['elapsed_s']} s "
               f"({scenario_throughput['scenarios_per_min']}/min)")
+    if overhead is not None:
+        print(f"injector empty-plan overhead: "
+              f"{overhead['empty_plan_ns_per_event']} ns/event "
+              f"({overhead['empty_plan_pct']:+.1f}%)")
     return 0
 
 

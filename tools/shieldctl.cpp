@@ -44,7 +44,11 @@ void usage(const char* argv0, std::FILE* to) {
       "  --json          print {spec, result} JSON per scenario instead of\n"
       "                  the rendered figure\n"
       "  --cache-dir D   persist results under D keyed by (digest, seed,\n"
-      "                  scale); later runs reuse them\n",
+      "                  scale); later runs reuse them\n"
+      "  --report PATH   write the degraded-run batch report JSON to PATH\n"
+      "                  (per-spec ok/retried/failed/timed_out + cache\n"
+      "                  repairs); a failing spec no longer aborts the "
+      "batch\n",
       argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
@@ -62,6 +66,7 @@ struct RunArgs {
   double scale = 1.0;
   unsigned jobs = 0;
   std::string cache_dir;
+  std::string report_path;
 };
 
 RunArgs parse_run(int argc, char** argv, int from) {
@@ -90,6 +95,9 @@ RunArgs parse_run(int argc, char** argv, int from) {
     } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
       need_value(i);
       a.cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      need_value(i);
+      a.report_path = argv[++i];
     } else if (argv[i][0] == '-') {
       bad_arg(argv, (std::string("unknown option '") + argv[i] + "'").c_str());
     } else {
@@ -162,36 +170,70 @@ int cmd_run(const RunArgs& a) {
                 specs.size(), specs.size() == 1 ? "" : "s",
                 static_cast<unsigned long long>(a.seed), a.scale);
   }
-  const auto results = runner.run_batch(specs, a.seed);
+  // Hardened batch: a failing or hanging spec is recorded in its outcome
+  // and the rest of the batch still runs to completion.
+  const auto report = runner.run_batch_report(specs, a.seed);
 
   bool all_complete = true;
   if (a.json) {
-    // One {spec, result} object per scenario: everything needed to
-    // re-execute or verify the run round-trips through this output.
+    // One {spec, outcome[, result]} object per scenario: everything needed
+    // to re-execute or verify the run round-trips through this output.
     auto arr = config::json::Value::array();
     for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& out = report.outcomes[i];
       auto entry = config::json::Value::object();
       entry.set("spec", specs[i].to_json());
-      entry.set("result", results[i].to_json());
+      entry.set("outcome", out.to_json());
+      if (out.result.has_value()) {
+        entry.set("result", out.result->to_json());
+        all_complete = all_complete && out.result->probe.complete;
+      }
       arr.push(std::move(entry));
-      all_complete = all_complete && results[i].probe.complete;
     }
     std::printf("%s\n", arr.dump(2).c_str());
   } else {
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      std::fputs(results[i].render(specs[i]).c_str(), stdout);
-      std::printf("(%llu simulator events%s)\n",
-                  static_cast<unsigned long long>(results[i].events),
-                  results[i].from_cache ? ", cached" : "");
-      all_complete = all_complete && results[i].probe.complete;
+      const auto& out = report.outcomes[i];
+      if (out.result.has_value()) {
+        std::fputs(out.result->render(specs[i]).c_str(), stdout);
+        std::printf("(%llu simulator events%s%s)\n",
+                    static_cast<unsigned long long>(out.result->events),
+                    out.result->from_cache ? ", cached" : "",
+                    out.status == config::RunStatus::kRetried ? ", retried"
+                                                              : "");
+        all_complete = all_complete && out.result->probe.complete;
+      } else {
+        std::fprintf(stderr, "%s: %s: %s\n", specs[i].name.c_str(),
+                     to_string(out.status), out.error.c_str());
+      }
     }
+  }
+  if (!a.report_path.empty()) {
+    std::FILE* f = std::fopen(a.report_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write report to '%s'\n",
+                   a.report_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", report.to_json().dump(2).c_str());
+    std::fclose(f);
+  }
+  if (!report.all_ok()) {
+    std::fprintf(stderr,
+                 "error: %zu of %zu scenarios failed (%zu timed out); see "
+                 "the outcomes above%s\n",
+                 report.count(config::RunStatus::kFailed) +
+                     report.count(config::RunStatus::kTimedOut),
+                 report.outcomes.size(),
+                 report.count(config::RunStatus::kTimedOut),
+                 a.report_path.empty() ? "" : " or the --report file");
   }
   if (!all_complete) {
     std::fprintf(stderr,
                  "warning: some scenarios did not reach their sample "
                  "targets inside the horizon\n");
   }
-  return all_complete ? 0 : 1;
+  return report.all_ok() && all_complete ? 0 : 1;
 }
 
 struct Args {

@@ -21,6 +21,32 @@ ctest --preset default
 # verify even though no unit test names that scenario.
 ./build/tools/shieldctl run --all --smoke --jobs "${jobs}" > /dev/null
 
+# Hardened-execution smoke: populate a disk cache, corrupt a few real
+# entries the way a crashed writer or bit rot would, then re-run. The
+# runner must quarantine the corrupt files, recompute them, still exit 0,
+# and account for the repairs in the degraded-run report.
+cachedir="$(mktemp -d)"
+trap 'rm -rf "${cachedir}"' EXIT
+./build/tools/shieldctl run --all --smoke --jobs "${jobs}" \
+  --cache-dir "${cachedir}" > /dev/null
+corrupted=0
+for f in "${cachedir}"/*.json; do
+  if [ "${corrupted}" -lt 3 ]; then
+    printf '{"format":"shieldsim-cache-v1","checksum":"tru' > "${f}"
+    corrupted=$((corrupted + 1))
+  fi
+done
+./build/tools/shieldctl run --all --smoke --jobs "${jobs}" \
+  --cache-dir "${cachedir}" --report "${cachedir}/report.json" > /dev/null
+python3 - "${cachedir}/report.json" "${corrupted}" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "degraded-run-report-v1", report
+assert report["failed"] == 0 and report["timed_out"] == 0, report
+assert report["ok"] == report["total"] > 0, report
+assert report["cache_entries_recomputed"] >= int(sys.argv[2]), report
+EOF
+
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan
