@@ -14,6 +14,7 @@
 #include "metrics/histogram.h"
 #include "rt/realfeel_test.h"
 #include "sim/engine.h"
+#include "telemetry/sampler.h"
 #include "workload/stress_kernel.h"
 
 using namespace sim::literals;
@@ -163,6 +164,39 @@ BENCHMARK(BM_SimulatedSecondWithFaultInjector)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedSecondWithTelemetry(benchmark::State& state) {
+  // The stress-kernel second with the sampler and the flight recorder both
+  // live. bench_trend.py gates the per-event delta against the plain bench
+  // above: observability must stay under 2% of the hot path.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                       config::KernelConfig::vanilla_2_4_20(), 5);
+    workload::StressKernel{}.install(p);
+    rt::RealfeelTest::Params rp;
+    rp.samples = ~std::uint64_t{0};
+    rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+    p.engine().flight_recorder().enable(4096);
+    telemetry::Sampler sampler(p.engine(), p.engine().telemetry());
+    p.boot();
+    test.start();
+    sampler.start(10_ms);
+    state.ResumeTiming();
+    p.run_for(1_s);
+    events += p.engine().events_executed();
+    benchmark::DoNotOptimize(p.engine().events_executed());
+    state.PauseTiming();
+    sampler.stop();
+    benchmark::DoNotOptimize(sampler.points().size());
+    state.ResumeTiming();
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SimulatedSecondWithTelemetry)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -103,6 +103,40 @@ DurationPolicy duration_from_json(const Value& v) {
   return d;
 }
 
+Value telemetry_to_json(const TelemetryPlan& t) {
+  Value v = Value::object();
+  if (t.sampler) {
+    v.set("sampler", true);
+    if (t.sample_period_ns != 10 * sim::kMillisecond) {
+      v.set("sample_period_ns", t.sample_period_ns);
+    }
+  }
+  if (t.flight_recorder) {
+    v.set("flight_recorder", true);
+    if (t.flight_capacity != 4096) v.set("flight_capacity", t.flight_capacity);
+  }
+  return v;
+}
+
+TelemetryPlan telemetry_from_json(const Value& v) {
+  if (!v.is_object()) fail("'telemetry' must be an object");
+  TelemetryPlan t;
+  for (const auto& [key, val] : v.members()) {
+    if (key == "sampler") {
+      t.sampler = val.as_bool();
+    } else if (key == "sample_period_ns") {
+      t.sample_period_ns = static_cast<sim::Duration>(val.as_i64());
+    } else if (key == "flight_recorder") {
+      t.flight_recorder = val.as_bool();
+    } else if (key == "flight_capacity") {
+      t.flight_capacity = static_cast<int>(val.as_i64());
+    } else {
+      fail("unknown telemetry key '" + key + "'");
+    }
+  }
+  return t;
+}
+
 std::size_t edit_distance(const std::string& a, const std::string& b) {
   std::vector<std::size_t> row(b.size() + 1);
   for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
@@ -167,6 +201,7 @@ json::Value ScenarioSpec::to_json() const {
   // Emitted only when set so fault-free scenario digests are unchanged.
   if (!faults.empty()) v.set("faults", faults.to_json());
   if (transient) v.set("transient", true);
+  if (!telemetry.is_default()) v.set("telemetry", telemetry_to_json(telemetry));
   v.set("paper_ref", paper_ref);
   return v;
 }
@@ -224,6 +259,8 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
       s.faults = fault::FaultPlan::from_json(val);
     } else if (key == "transient") {
       s.transient = val.as_bool();
+    } else if (key == "telemetry") {
+      s.telemetry = telemetry_from_json(val);
     } else if (key == "paper_ref") {
       s.paper_ref = str_field(val, key);
     } else {
@@ -266,6 +303,12 @@ void ScenarioSpec::validate() const {
     fail("'" + name + "': duration.factor must be positive");
   }
   faults.validate(name);  // throws naming the offending fault + field
+  if (telemetry.sampler && telemetry.sample_period_ns <= 0) {
+    fail("'" + name + "': telemetry.sample_period_ns must be positive");
+  }
+  if (telemetry.flight_recorder && telemetry.flight_capacity <= 0) {
+    fail("'" + name + "': telemetry.flight_capacity must be positive");
+  }
 }
 
 // ---- preset lookups --------------------------------------------------------

@@ -17,6 +17,7 @@
 #include "config/kernel_config.h"
 #include "config/machine_config.h"
 #include "fault/fault_plan.h"
+#include "sim/time.h"
 
 namespace config {
 
@@ -56,6 +57,26 @@ struct DurationPolicy {
   sim::Duration fixed_ns = 0;
 };
 
+/// Per-run telemetry switches: the registry itself is always live (it is
+/// how the kernel's counters are stored), but the sampler and the flight
+/// recorder only run when a scenario opts in. A default plan is not
+/// serialized, so the digests of telemetry-free scenarios are unchanged and
+/// their outputs stay bit-identical.
+struct TelemetryPlan {
+  /// Snapshot registry deltas every `sample_period_ns` of sim time into the
+  /// result's timeline.
+  bool sampler = false;
+  sim::Duration sample_period_ns = 10 * sim::kMillisecond;
+  /// Keep a ring of recent events for post-mortem dumps. (The runner also
+  /// force-enables the ring whenever a watchdog is armed.)
+  bool flight_recorder = false;
+  int flight_capacity = 4096;
+
+  /// Period and capacity are inert while their switch is off, so a plan
+  /// counts as default — and serializes to nothing — when both are off.
+  [[nodiscard]] bool is_default() const { return !sampler && !flight_recorder; }
+};
+
 struct ScenarioSpec {
   std::string name;         ///< registry key, e.g. "fig6"
   std::string title;        ///< display title, e.g. "Figure 6: ..."
@@ -86,6 +107,10 @@ struct ScenarioSpec {
   /// fault plans near an assertion boundary): ScenarioRunner retries them
   /// with a reseeded derived seed before reporting failure.
   bool transient = false;
+
+  /// Optional telemetry (sampler timeline + flight recorder). The default
+  /// plan is all-off and is not serialized.
+  TelemetryPlan telemetry;
 
   /// The paper's reference numbers for this scenario (may be empty).
   std::string paper_ref;

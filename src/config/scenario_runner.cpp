@@ -11,9 +11,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "config/telemetry_export.h"
 #include "fault/injector.h"
 #include "metrics/report.h"
 #include "sim/rng.h"
+#include "telemetry/sampler.h"
 #include "workload/registry.h"
 
 namespace config {
@@ -232,6 +234,9 @@ json::Value ScenarioResult::to_json() const {
   v.set("scale", scale);
   v.set("events", events);
   v.set("probe", probe_result_to_json(probe));
+  // Absent entirely when telemetry was off, so older cache entries and
+  // telemetry-free results keep their exact serialized form.
+  if (!telemetry.is_null()) v.set("telemetry", telemetry);
   return v;
 }
 
@@ -243,6 +248,7 @@ ScenarioResult ScenarioResult::from_json(const json::Value& v) {
   if (const Value* f = v.find("scale")) r.scale = f->as_double();
   if (const Value* f = v.find("events")) r.events = f->as_u64();
   if (const Value* f = v.find("probe")) r.probe = probe_result_from_json(*f);
+  if (const Value* f = v.find("telemetry")) r.telemetry = *f;
   return r;
 }
 
@@ -293,6 +299,7 @@ json::Value RunOutcome::to_json() const {
     v.set("seed", result->seed);
     v.set("events", result->events);
   }
+  if (!flight_recording.is_null()) v.set("flight_recording", flight_recording);
   return v;
 }
 
@@ -405,6 +412,15 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
   apply_kernel_overrides(kcfg, spec.kernel_overrides);
 
   Platform p(*machine, kcfg, seed, spec.ht_override);
+  // The flight recorder is passive (no events, no RNG, no model state), so
+  // arming it alongside a watchdog cannot perturb the run it may have to
+  // explain. Enabled before boot so the ring sees the earliest events too.
+  const bool watchdog = opt_.max_events > 0 || opt_.wall_limit_s > 0.0;
+  if (spec.telemetry.flight_recorder || watchdog) {
+    const int cap =
+        spec.telemetry.flight_recorder ? spec.telemetry.flight_capacity : 4096;
+    p.engine().flight_recorder().enable(static_cast<std::size_t>(cap));
+  }
   for (const auto& w : spec.workloads) {
     workload::make_workload(w.name, w.params)->install(p);
   }
@@ -441,7 +457,23 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
     injector->arm(p.engine().now() + horizon);
   }
 
-  run_to_horizon(spec, p, horizon);
+  std::optional<telemetry::Sampler> sampler;
+  if (spec.telemetry.sampler) {
+    sampler.emplace(p.engine(), p.engine().telemetry());
+    sampler->start(spec.telemetry.sample_period_ns);
+  }
+
+  try {
+    run_to_horizon(spec, p, horizon);
+  } catch (const ScenarioAbort&) {
+    throw;  // already carries its dump
+  } catch (const std::exception& e) {
+    // A structured mid-run failure (probe error, workload assertion thrown
+    // as an exception): keep the evidence if the ring was on.
+    if (!p.engine().flight_recorder().enabled()) throw;
+    throw ScenarioFailure(e.what(),
+                          flight_dump_json(p.engine().flight_recorder()));
+  }
 
   if (hooks.finished) hooks.finished(p, *probe);
 
@@ -452,6 +484,14 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
   r.scale = opt_.scale;
   r.probe = probe->result();
   r.events = p.engine().events_executed();
+  if (sampler) {
+    sampler->stop();
+    Value t = Value::object();
+    t.set("schema", "telemetry-v1");
+    t.set("counters", telemetry_counters_json(p.engine().telemetry()));
+    t.set("timeline", telemetry_timeline_json(*sampler));
+    r.telemetry = std::move(t);
+  }
   return r;
 }
 
@@ -474,17 +514,20 @@ void ScenarioRunner::run_to_horizon(const ScenarioSpec& spec, Platform& p,
         p.engine().events_executed() - start_events > opt_.max_events) {
       throw ScenarioTimeout(
           "scenario '" + spec.name + "': exceeded the event watchdog (" +
-          std::to_string(opt_.max_events) + " simulated events) at t=" +
-          std::to_string(p.engine().now()) + "ns");
+              std::to_string(opt_.max_events) + " simulated events) at t=" +
+              std::to_string(p.engine().now()) + "ns",
+          flight_dump_json(p.engine().flight_recorder()));
     }
     if (opt_.wall_limit_s > 0.0) {
       const std::chrono::duration<double> elapsed =
           std::chrono::steady_clock::now() - wall_start;
       if (elapsed.count() > opt_.wall_limit_s) {
         throw ScenarioTimeout(
-            "scenario '" + spec.name + "': exceeded the wall-clock watchdog (" +
-            std::to_string(opt_.wall_limit_s) + "s) at t=" +
-            std::to_string(p.engine().now()) + "ns");
+            "scenario '" + spec.name +
+                "': exceeded the wall-clock watchdog (" +
+                std::to_string(opt_.wall_limit_s) + "s) at t=" +
+                std::to_string(p.engine().now()) + "ns",
+            flight_dump_json(p.engine().flight_recorder()));
       }
     }
   }
@@ -506,6 +549,11 @@ RunOutcome ScenarioRunner::run_outcome(const ScenarioSpec& spec,
     } catch (const ScenarioTimeout& e) {
       out.status = RunStatus::kTimedOut;
       out.error = e.what();
+      out.flight_recording = e.flight_recording();
+    } catch (const ScenarioAbort& e) {
+      out.status = RunStatus::kFailed;
+      out.error = e.what();
+      out.flight_recording = e.flight_recording();
     } catch (const std::exception& e) {
       out.status = RunStatus::kFailed;
       out.error = e.what();

@@ -36,6 +36,10 @@ struct ScenarioResult {
   double scale = 1.0;
   rt::ProbeResult probe;
   std::uint64_t events = 0;  ///< simulator events executed
+  /// Telemetry document ({counters, timeline}) when the spec opted into the
+  /// sampler; null otherwise and then absent from the serialized form, so
+  /// telemetry-free results are byte-identical to pre-telemetry ones.
+  json::Value telemetry;
   /// True when the result came out of the cache, not a fresh simulation.
   /// Not serialized: a round-tripped result compares equal either way.
   bool from_cache = false;
@@ -49,12 +53,38 @@ struct ScenarioResult {
   [[nodiscard]] std::string render(const ScenarioSpec& spec) const;
 };
 
-/// Thrown when a run blows through its watchdog budget (simulated-event
-/// count or wall-clock seconds). Distinct from std::runtime_error so batch
-/// reports can classify it as timed_out rather than failed.
-class ScenarioTimeout : public std::runtime_error {
+/// Base for failures thrown while the Platform is still alive. Carries the
+/// post-mortem flight-recorder dump (a null Value when the recorder was
+/// off): the ring dies with the engine during stack unwind, so the dump has
+/// to be captured at the throw site.
+class ScenarioAbort : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit ScenarioAbort(const std::string& what,
+                         json::Value flight = json::Value())
+      : std::runtime_error(what),
+        flight_(std::make_shared<const json::Value>(std::move(flight))) {}
+  [[nodiscard]] const json::Value& flight_recording() const {
+    return *flight_;
+  }
+
+ private:
+  std::shared_ptr<const json::Value> flight_;  // shared: copies never throw
+};
+
+/// Thrown when a run blows through its watchdog budget (simulated-event
+/// count or wall-clock seconds). Distinct from the other failures so batch
+/// reports can classify it as timed_out rather than failed.
+class ScenarioTimeout : public ScenarioAbort {
+ public:
+  using ScenarioAbort::ScenarioAbort;
+};
+
+/// A structured failure rethrown with the flight dump attached when the
+/// recorder was on (plain std::exceptions pass through untouched when it
+/// was not).
+class ScenarioFailure : public ScenarioAbort {
+ public:
+  using ScenarioAbort::ScenarioAbort;
 };
 
 /// How one spec in a batch ended up.
@@ -73,6 +103,10 @@ struct RunOutcome {
   int attempts = 1;
   std::string error;  ///< what() of the last failure (empty on success)
   std::optional<ScenarioResult> result;
+  /// Flight-recorder dump from the final failed attempt (null unless the
+  /// recorder was live when the run died). The post-mortem artifact the
+  /// degraded-run report carries for watchdog timeouts.
+  json::Value flight_recording;
 
   [[nodiscard]] bool ok() const {
     return status == RunStatus::kOk || status == RunStatus::kRetried;

@@ -1,0 +1,58 @@
+#include "config/telemetry_export.h"
+
+namespace config {
+
+using json::Value;
+
+json::Value telemetry_counters_json(const telemetry::Registry& reg) {
+  Value v = Value::object();
+  for (const auto& s : reg.snapshot()) v.set(s.series, s.value);
+  return v;
+}
+
+json::Value telemetry_timeline_json(const telemetry::Sampler& sampler) {
+  Value v = Value::object();
+  v.set("schema", "telemetry-timeline-v1");
+  v.set("period_ns", sampler.period());
+  Value series = Value::array();
+  for (const auto& name : sampler.series_names()) series.push(name);
+  v.set("series", std::move(series));
+  Value points = Value::array();
+  for (const auto& p : sampler.points()) {
+    Value point = Value::object();
+    point.set("t", p.at);
+    Value deltas = Value::array();
+    for (const auto& [index, delta] : p.deltas) {
+      Value pair = Value::array();
+      pair.push(index);
+      pair.push(delta);
+      deltas.push(std::move(pair));
+    }
+    point.set("d", std::move(deltas));
+    points.push(std::move(point));
+  }
+  v.set("points", std::move(points));
+  return v;
+}
+
+json::Value flight_dump_json(const telemetry::FlightRecorder& fr) {
+  Value v = Value::object();
+  v.set("schema", "flight-recorder-v1");
+  v.set("capacity", fr.capacity());
+  v.set("recorded", fr.total_recorded());
+  v.set("dropped", fr.dropped());
+  Value events = Value::array();
+  for (const auto& e : fr.entries()) {
+    Value ev = Value::object();
+    ev.set("t_ns", e.at);
+    ev.set("kind", to_string(e.kind));
+    ev.set("cpu", e.cpu);
+    ev.set("a", e.a);
+    ev.set("b", e.b);
+    events.push(std::move(ev));
+  }
+  v.set("events", std::move(events));
+  return v;
+}
+
+}  // namespace config

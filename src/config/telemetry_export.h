@@ -1,0 +1,31 @@
+// JSON views over the telemetry subsystem.
+//
+// The telemetry library itself stays free of any JSON dependency (it is
+// linked into the kernel hot path); these helpers live in config where
+// json::Value already is, and define the three document schemas the tools
+// consume: the final-counter map, the sampler timeline
+// ("telemetry-timeline-v1") and the flight-recorder dump
+// ("flight-recorder-v1"). See docs/MODEL.md §11 for the field catalogue.
+#pragma once
+
+#include "config/json.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
+
+namespace config {
+
+/// Flat { series name -> value } object over every registered series.
+[[nodiscard]] json::Value telemetry_counters_json(
+    const telemetry::Registry& reg);
+
+/// The sampler's sparse delta timeline:
+/// { schema, period_ns, series: [names...], points: [{t, d: [[i, delta]...]}] }
+[[nodiscard]] json::Value telemetry_timeline_json(
+    const telemetry::Sampler& sampler);
+
+/// Post-mortem ring dump:
+/// { schema, capacity, recorded, dropped, events: [{t_ns, kind, cpu, a, b}] }
+[[nodiscard]] json::Value flight_dump_json(const telemetry::FlightRecorder& fr);
+
+}  // namespace config

@@ -20,7 +20,7 @@ using config::json::Value;
 class LockHolderBehavior : public kernel::Behavior {
  public:
   LockHolderBehavior(const FaultSpec& spec, sim::Time begin, sim::Time end,
-                     std::uint64_t seed, Injector::Stats* stats)
+                     std::uint64_t seed, Injector* injector)
       : lock_(lock_from_token(spec.lock)),
         min_(spec.min_ns),
         max_(spec.max_ns),
@@ -28,7 +28,7 @@ class LockHolderBehavior : public kernel::Behavior {
         begin_(begin),
         end_(end),
         rng_(seed),
-        stats_(stats) {}
+        injector_(injector) {}
 
   kernel::Action next_action(kernel::Kernel& kernel,
                              kernel::Task& /*task*/) override {
@@ -41,7 +41,7 @@ class LockHolderBehavior : public kernel::Behavior {
           std::max<sim::Duration>(1, rng_.exponential_duration(mean_))};
     }
     slept_ = false;
-    stats_->lock_holds++;
+    injector_->note_lock_hold();
     const sim::Duration hold = rng_.uniform_duration(min_, max_);
     return kernel::SyscallAction{
         "fault-lock-holder",
@@ -53,7 +53,7 @@ class LockHolderBehavior : public kernel::Behavior {
   sim::Duration min_, max_, mean_;
   sim::Time begin_, end_;
   sim::Rng rng_;
-  Injector::Stats* stats_;
+  Injector* injector_;
   bool slept_ = false;
 };
 
@@ -94,6 +94,15 @@ Injector::~Injector() {
   if (touched_drift_) platform_.kernel().local_timer().set_drift(0.0);
 }
 
+void Injector::note_lock_hold() {
+  stats_.lock_holds++;
+  note(Event::kLockHold);
+  sim::Engine& engine = platform_.engine();
+  engine.flight_recorder().record(
+      engine.now(), telemetry::EventKind::kFaultFire, -1,
+      static_cast<std::int32_t>(FaultKind::kLockHolderDelay));
+}
+
 void Injector::arm(sim::Time horizon_end) {
   SIM_ASSERT_MSG(!armed_, "Injector::arm called twice");
   armed_ = true;
@@ -103,6 +112,19 @@ void Injector::arm(sim::Time horizon_end) {
   sim::Engine& engine = platform_.engine();
   kernel::Kernel& kernel = platform_.kernel();
 
+  // Registered only for a live plan so an empty-plan injector stays
+  // observationally identical to no injector at all (same registry series,
+  // same digests). Cells mirror the Stats fields one-for-one.
+  events_ = engine.telemetry().counter(
+      "fault.events", "fault-injector actions by kind",
+      static_cast<int>(Event::kCount), "event",
+      {"storm_raises", "spurious_raises", "lost_irqs", "duplicated_irqs",
+       "cpu_stalls", "device_delays", "softirq_raises", "lock_holds",
+       "skipped_specs"});
+  engine.flight_recorder().record(engine.now(),
+                                  telemetry::EventKind::kFaultArm, -1,
+                                  static_cast<std::int32_t>(plan_.faults.size()));
+
   for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
     const FaultSpec& f = plan_.faults[i];
     const sim::Time begin = std::min(f.start, horizon_end);
@@ -111,6 +133,7 @@ void Injector::arm(sim::Time horizon_end) {
                         : std::min(horizon_end, f.start + f.duration);
     if (begin >= end) {
       stats_.skipped_specs++;
+      note(Event::kSkippedSpec);
       continue;
     }
     switch (f.kind) {
@@ -125,6 +148,7 @@ void Injector::arm(sim::Time horizon_end) {
                                    f.kind == FaultKind::kSpuriousIrq;
         if (needs_handler && !kernel.irq_handler_registered(f.irq)) {
           stats_.skipped_specs++;
+          note(Event::kSkippedSpec);
           break;
         }
         Chain c;
@@ -166,6 +190,7 @@ void Injector::arm(sim::Time horizon_end) {
         } else if (f.device == "rcim") {
           if (!platform_.has_rcim()) {
             stats_.skipped_specs++;
+            note(Event::kSkippedSpec);
             break;
           }
           rcim_rules_.push_back(rule);
@@ -182,7 +207,7 @@ void Injector::arm(sim::Time horizon_end) {
             std::make_unique<LockHolderBehavior>(
                 f, begin, end,
                 sim::derive_seed(seed_, "holder#" + std::to_string(i)),
-                &stats_));
+                this));
         break;
       }
     }
@@ -212,24 +237,31 @@ void Injector::chain_fire(std::size_t index) {
 void Injector::fire_once(Chain& c) {
   const FaultSpec& f = *c.spec;
   kernel::Kernel& kernel = platform_.kernel();
+  platform_.engine().flight_recorder().record(
+      platform_.engine().now(), telemetry::EventKind::kFaultFire, f.cpu,
+      static_cast<std::int32_t>(f.kind));
   switch (f.kind) {
     case FaultKind::kIrqStorm:
       stats_.storm_raises++;
+      note(Event::kStormRaise);
       platform_.interrupt_controller().raise(f.irq);
       break;
     case FaultKind::kSpuriousIrq:
       stats_.spurious_raises++;
+      note(Event::kSpuriousRaise);
       platform_.interrupt_controller().raise(f.irq);
       break;
     case FaultKind::kCpuStall: {
       const sim::Duration stall = c.rng.uniform_duration(f.min_ns, f.max_ns);
       if (f.cpu >= 0) {
         stats_.cpu_stalls++;
+        note(Event::kCpuStall);
         kernel.inject_cpu_stall(f.cpu, stall);
       } else {
         // A chipset-wide SMI: every CPU disappears for the same window.
         for (hw::CpuId cpu = 0; cpu < kernel.ncpus(); ++cpu) {
           stats_.cpu_stalls++;
+          note(Event::kCpuStall);
           kernel.inject_cpu_stall(cpu, stall);
         }
       }
@@ -242,6 +274,7 @@ void Injector::fire_once(Chain& c) {
         c.rr_cpu++;
       }
       stats_.softirq_raises++;
+      note(Event::kSoftirqRaise);
       kernel.raise_softirq(cpu, kernel::SoftirqType::kNetRx, f.work_ns);
       break;
     }
@@ -269,8 +302,16 @@ void Injector::install_filter() {
     }
     if (copies == 0) {
       stats_.lost_irqs++;
+      note(Event::kLostIrq);
+      engine.flight_recorder().record(
+          now, telemetry::EventKind::kFaultFire, -1,
+          static_cast<std::int32_t>(FaultKind::kLostIrq));
     } else if (copies > 1) {
       stats_.duplicated_irqs += static_cast<std::uint64_t>(copies - 1);
+      note(Event::kDuplicatedIrq, static_cast<std::uint64_t>(copies - 1));
+      engine.flight_recorder().record(
+          now, telemetry::EventKind::kFaultFire, -1,
+          static_cast<std::int32_t>(FaultKind::kDuplicateIrq), copies - 1);
     }
     return copies;
   });
@@ -284,6 +325,10 @@ sim::Duration Injector::sample_device_delay(std::vector<DelayRule>& rules,
     if (now < r.begin || now >= r.end) continue;
     if (!rng.chance(r.probability)) continue;
     stats_.device_delays++;
+    note(Event::kDeviceDelay);
+    platform_.engine().flight_recorder().record(
+        now, telemetry::EventKind::kFaultFire, -1,
+        static_cast<std::int32_t>(FaultKind::kDeviceDelay));
     extra += rng.uniform_duration(r.min_ns, r.max_ns);
   }
   return extra;

@@ -21,6 +21,7 @@
 #include "fault/fault_plan.h"
 #include "sim/rng.h"
 #include "sim/time.h"
+#include "telemetry/registry.h"
 
 namespace config {
 class Platform;
@@ -62,7 +63,29 @@ class Injector {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] bool armed() const { return armed_; }
 
+  /// Registry cell per Stats field ("fault.events" counter). The counters
+  /// live in the engine's registry — not on the injector — because the
+  /// injector is destroyed before the platform and gauges over `stats_`
+  /// would dangle.
+  enum class Event : int {
+    kStormRaise = 0,
+    kSpuriousRaise,
+    kLostIrq,
+    kDuplicatedIrq,
+    kCpuStall,
+    kDeviceDelay,
+    kSoftirqRaise,
+    kLockHold,
+    kSkippedSpec,
+    kCount,
+  };
+
+  /// Called by the lock-holder saboteur task (and internally at every fault
+  /// site): bump stats + registry + flight recorder for one fired fault.
+  void note_lock_hold();
+
  private:
+  void note(Event e, std::uint64_t n = 1) { events_.add(static_cast<int>(e), n); }
   /// A recurring Poisson event chain for one rate-driven spec.
   struct Chain {
     const FaultSpec* spec = nullptr;
@@ -103,6 +126,7 @@ class Injector {
   const FaultPlan& plan_;
   std::uint64_t seed_;
   Stats stats_;
+  telemetry::Registry::Counter events_;
   bool armed_ = false;
   sim::Time horizon_ = 0;
 

@@ -13,6 +13,15 @@ InterruptController::InterruptController(sim::Engine& engine,
     : engine_(engine), topo_(topo), rng_(engine.rng().split()) {
   affinity_.fill(topo.all_cpus());
   last_target_.fill(0);
+  telemetry::Registry& reg = engine_.telemetry();
+  reg.gauge("irq.raised", "device edges asserted per IRQ line", kMaxIrq,
+            "irq", [this](int irq) {
+              return raises_[static_cast<std::size_t>(irq)];
+            });
+  reg.gauge("irq.delivered", "edges delivered to a CPU per IRQ line",
+            kMaxIrq, "irq", [this](int irq) {
+              return delivery_total(static_cast<Irq>(irq));
+            });
 }
 
 void InterruptController::set_affinity(Irq irq, CpuMask mask) {
@@ -58,6 +67,8 @@ void InterruptController::raise(Irq irq) {
   SIM_ASSERT(irq >= 0 && irq < kMaxIrq);
   SIM_ASSERT_MSG(static_cast<bool>(deliver_), "no delivery function installed");
   raises_[static_cast<std::size_t>(irq)]++;
+  engine_.flight_recorder().record(engine_.now(),
+                                   telemetry::EventKind::kIrqRaise, -1, irq);
   int copies = 1;
   if (raise_filter_) {
     copies = raise_filter_(irq);
@@ -98,6 +109,18 @@ std::uint64_t InterruptController::delivery_count(Irq irq, CpuId cpu) const {
   SIM_ASSERT(irq >= 0 && irq < kMaxIrq);
   SIM_ASSERT(topo_.valid_cpu(cpu));
   return deliveries_[static_cast<std::size_t>(irq)][static_cast<std::size_t>(cpu)];
+}
+
+std::uint64_t InterruptController::delivery_total(Irq irq) const {
+  SIM_ASSERT(irq >= 0 && irq < kMaxIrq);
+  std::uint64_t sum = 0;
+  for (auto d : deliveries_[static_cast<std::size_t>(irq)]) sum += d;
+  return sum;
+}
+
+void InterruptController::reset_counters() {
+  raises_.fill(0);
+  for (auto& row : deliveries_) row.fill(0);
 }
 
 }  // namespace hw

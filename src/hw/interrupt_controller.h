@@ -58,6 +58,11 @@ class InterruptController {
   [[nodiscard]] std::uint64_t raise_count(Irq irq) const;
   /// Deliveries per (line, cpu).
   [[nodiscard]] std::uint64_t delivery_count(Irq irq, CpuId cpu) const;
+  /// Deliveries summed over CPUs.
+  [[nodiscard]] std::uint64_t delivery_total(Irq irq) const;
+
+  /// Zero raise/delivery accounting (routing state is untouched).
+  void reset_counters();
 
   [[nodiscard]] const Topology& topology() const { return topo_; }
 

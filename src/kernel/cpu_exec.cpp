@@ -217,6 +217,9 @@ void Kernel::finish_switch(hw::CpuId cpu) {
 
   SIM_ASSERT(next->state == TaskState::kReady);
   SIM_ASSERT(next->effective_affinity.test(cpu));
+  engine_.flight_recorder().record(engine_.now(),
+                                   telemetry::EventKind::kCtxSwitch, cpu,
+                                   next->pid, next->is_rt() ? 1 : 0);
   next->state = TaskState::kRunning;
   if (next->cpu != cpu && next->cpu >= 0) next->migrations++;
   next->cpu = cpu;
@@ -352,6 +355,8 @@ void Kernel::begin_hardirq(hw::CpuId cpu, int vector) {
   SIM_ASSERT(cs.irqs_enabled() && !cs.switching);
   pause_segment(cpu);
   cs.hardirqs++;
+  engine_.flight_recorder().record(
+      engine_.now(), telemetry::EventKind::kIrqDispatch, cpu, vector);
 
   sim::Duration cost = cfg_.irq_entry_cost + cfg_.irq_exit_cost;
   if (vector >= 0) {
@@ -704,10 +709,17 @@ bool Kernel::acquire_lock(hw::CpuId cpu, Task& t, LockId id, bool bkl_reacquire)
     preempt_count_inc(t);
     if (id == LockId::kBkl) t.bkl_depth = 1;
     l.note_acquired(engine_.now());
+    engine_.flight_recorder().record(engine_.now(),
+                                     telemetry::EventKind::kLockAcquire, cpu,
+                                     static_cast<std::int32_t>(id));
     return true;
   }
 
   // Contended: spin. The task burns its CPU until the holder releases.
+  engine_.flight_recorder().record(
+      engine_.now(), telemetry::EventKind::kLockContend, cpu,
+      static_cast<std::int32_t>(id),
+      l.holder() != nullptr ? l.holder()->cpu : -1);
   l.add_waiter(t);
   t.frames.push_back(TaskFrame{TaskFrame::Kind::kSpinWait, 0, kSpinTraffic, id,
                                bkl_reacquire});
@@ -729,9 +741,13 @@ void Kernel::release_lock(hw::CpuId cpu, Task& t, LockId id) {
 
   SIM_ASSERT(t.preempt_count > 0);
   preempt_count_dec(t);
+  const sim::Duration held = engine_.now() - l.acquired_at();
+  if (held > 0) {
+    lock_hold_counter_.add(cpu, static_cast<std::uint64_t>(held));
+  }
   if (id == LockId::kBkl) {
     t.bkl_depth = 0;
-    cs.bkl_hold_time += engine_.now() - l.acquired_at();
+    cs.bkl_hold_time += held;
   }
   l.note_released(engine_.now());
 

@@ -96,6 +96,7 @@ Kernel::Kernel(sim::Engine& engine, const hw::Topology& topo,
                                                   cfg_.local_timer_period);
   local_timer_->set_tick_fn([this](hw::CpuId cpu) { local_timer_tick(cpu); });
 
+  register_telemetry();
   register_proc_files();
 }
 
@@ -485,6 +486,9 @@ void Kernel::raise_softirq(hw::CpuId cpu, SoftirqType type, sim::Duration work) 
   if (work == 0) return;
   CpuState& cs = cpu_mut(cpu);
   cs.softirq.raise(type, work);
+  engine_.flight_recorder().record(engine_.now(),
+                                   telemetry::EventKind::kSoftirqRaise, cpu,
+                                   static_cast<std::int32_t>(type));
   // Raised from task context (no irq frame active on that CPU): the real
   // kernel would run do_softirq at local_bh_enable; we hand the work to
   // ksoftirqd, which is immediately runnable.
@@ -539,6 +543,133 @@ Task* Kernel::find_task(const std::string& name) {
   return nullptr;
 }
 
+// ---- telemetry ------------------------------------------------------------------------
+
+const std::vector<LatencyCounterView>& latency_counter_views() {
+  // Order is the render order of /proc/latency/cpuN and of each per-CPU
+  // object in latency_report_json. The PR 2 counters come first (existing
+  // consumers parse by key, but stable order keeps text diffs quiet); the
+  // fault-visible counters (softirq floods, lock-holder delays, SMI stalls)
+  // follow.
+  static const std::vector<LatencyCounterView> kViews = {
+      {"spin_wait_ns", "kernel.spin_wait_ns"},
+      {"bkl_hold_ns", "kernel.bkl_hold_ns"},
+      {"irq_ns", "kernel.irq_time_ns"},
+      {"softirq_ns", "kernel.softirq_time_ns"},
+      {"hardirqs", "kernel.hardirqs"},
+      {"switches", "sched.switches"},
+      {"softirq_raised", "kernel.softirq_raised"},
+      {"smi_stalls", "kernel.smi_stalls"},
+      {"lock_hold_ns", "kernel.lock_hold_ns"},
+      {"irq_off_max_ns", "kernel.irq_off_max_ns"},
+      {"preempt_off_max_ns", "kernel.preempt_off_max_ns"},
+  };
+  return kViews;
+}
+
+namespace {
+
+std::uint64_t as_u64(sim::Duration d) {
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
+
+void Kernel::register_telemetry() {
+  telemetry::Registry& reg = engine_.telemetry();
+  const int n = topo_.logical_cpus();
+  // Gauges over the existing CpuState accounting: snapshot-time reads, zero
+  // cost on the execution paths that maintain the fields.
+  reg.gauge("kernel.spin_wait_ns", "ns tasks on this CPU spun on locks", n,
+            "cpu", [this](int c) { return as_u64(cpu(c).spin_wait_time); });
+  reg.gauge("kernel.bkl_hold_ns", "ns the BKL was held from this CPU", n,
+            "cpu", [this](int c) { return as_u64(cpu(c).bkl_hold_time); });
+  reg.gauge("kernel.irq_time_ns", "ns spent in hardirq context", n, "cpu",
+            [this](int c) { return as_u64(cpu(c).irq_time); });
+  reg.gauge("kernel.softirq_time_ns", "ns spent draining softirq work", n,
+            "cpu", [this](int c) { return as_u64(cpu(c).softirq_time); });
+  reg.gauge("kernel.hardirqs", "hardirq frames entered", n, "cpu",
+            [this](int c) { return cpu(c).hardirqs; });
+  reg.gauge("sched.switches", "context switches completed", n, "cpu",
+            [this](int c) { return cpu(c).switches; });
+  reg.gauge("kernel.softirq_raised", "softirq raise events", n, "cpu",
+            [this](int c) { return cpu(c).softirq.total_raised(); });
+  reg.gauge("kernel.softirq_pending_ns", "queued bottom-half work, ns", n,
+            "cpu",
+            [this](int c) { return as_u64(cpu(c).softirq.total_pending()); });
+  reg.gauge("kernel.smi_stalls", "injected SMI-like stalls taken", n, "cpu",
+            [this](int c) { return cpu(c).smi_stalls; });
+  reg.gauge("kernel.irq_off_max_ns", "longest interrupts-off stretch", n,
+            "cpu", [this](int c) {
+              const auto& h = auditor_.irq_off(c);
+              return h.count() > 0 ? as_u64(h.max()) : 0;
+            });
+  reg.gauge("kernel.preempt_off_max_ns", "longest non-preemptible stretch",
+            n, "cpu", [this](int c) {
+              const auto& h = auditor_.preempt_off(c);
+              return h.count() > 0 ? as_u64(h.max()) : 0;
+            });
+  reg.gauge("kernel.syscalls", "syscalls entered, all tasks", 1, "",
+            [this](int) {
+              std::uint64_t sum = 0;
+              for (const auto& t : tasks_) sum += t->syscalls;
+              return sum;
+            });
+  reg.gauge("sched.rt_latency_max_ns",
+            "worst wakeup-to-run latency, RT tasks", 1, "", [this](int) {
+              const auto& h = auditor_.rt_sched_latency();
+              return h.count() > 0 ? as_u64(h.max()) : 0;
+            });
+  lock_hold_counter_ = reg.counter(
+      "kernel.lock_hold_ns", "ns of lock hold time released from this CPU",
+      n, "cpu");
+
+  // Per-lock statistics, cells keyed by lock id.
+  std::vector<std::string> lock_names;
+  for (int i = 0; i < static_cast<int>(LockId::kCount); ++i) {
+    lock_names.emplace_back(to_string(static_cast<LockId>(i)));
+  }
+  const int nlocks = static_cast<int>(LockId::kCount);
+  auto lock_at = [this](int i) -> const SpinLock& {
+    return locks_[static_cast<std::size_t>(i)];
+  };
+  reg.gauge("lock.acquisitions", "times the lock was taken", nlocks, "lock",
+            [lock_at](int i) { return lock_at(i).acquisitions(); },
+            lock_names);
+  reg.gauge("lock.contentions", "acquisitions that had to spin", nlocks,
+            "lock", [lock_at](int i) { return lock_at(i).contentions(); },
+            lock_names);
+  reg.gauge("lock.wait_ns", "total ns spinners waited", nlocks, "lock",
+            [lock_at](int i) { return as_u64(lock_at(i).total_wait()); },
+            lock_names);
+  reg.gauge("lock.hold_ns", "total ns the lock was held", nlocks, "lock",
+            [lock_at](int i) { return as_u64(lock_at(i).total_hold()); },
+            lock_names);
+}
+
+std::uint64_t Kernel::latency_counter(std::string_view series,
+                                      hw::CpuId cpu) const {
+  return engine_.telemetry().value(series, cpu);
+}
+
+void Kernel::reset_latency_counters() {
+  for (auto& cs : cpus_) {
+    cs.irq_time = 0;
+    cs.softirq_time = 0;
+    cs.switches = 0;
+    cs.hardirqs = 0;
+    cs.spin_wait_time = 0;
+    cs.bkl_hold_time = 0;
+    cs.smi_stalls = 0;
+    cs.softirq.reset_counts();
+  }
+  for (auto& l : locks_) l.reset_counters();
+  for (auto& t : tasks_) t->syscalls = 0;
+  auditor_.reset();
+  ic_.reset_counters();
+  engine_.telemetry().reset();
+}
+
 // ---- procfs ---------------------------------------------------------------------------
 
 void Kernel::register_proc_files() {
@@ -572,23 +703,23 @@ void Kernel::register_proc_files() {
     return out;
   });
   // Per-CPU latency counters (the tracing subsystem's always-on half):
-  // where each CPU's response-time budget went, in ns.
+  // where each CPU's response-time budget went, in ns. Rendered from the
+  // telemetry registry through the shared view table, so this file and
+  // kernel::latency_report_json cannot drift apart.
   for (hw::CpuId c = 0; c < topo_.logical_cpus(); ++c) {
     procfs_.register_file(
         "/proc/latency/cpu" + std::to_string(c), [this, c] {
-          const CpuState& cs = cpu(c);
           std::string out;
-          out += "spin_wait_ns " + std::to_string(cs.spin_wait_time) + "\n";
-          out += "bkl_hold_ns " + std::to_string(cs.bkl_hold_time) + "\n";
-          out += "irq_ns " + std::to_string(cs.irq_time) + "\n";
-          out += "softirq_ns " + std::to_string(cs.softirq_time) + "\n";
-          out += "irq_off_max_ns " +
-                 std::to_string(auditor_.irq_off(c).max()) + "\n";
-          out += "preempt_off_max_ns " +
-                 std::to_string(auditor_.preempt_off(c).max()) + "\n";
+          for (const LatencyCounterView& v : latency_counter_views()) {
+            out += std::string(v.key) + " " +
+                   std::to_string(latency_counter(v.series, c)) + "\n";
+          }
           return out;
         });
   }
+  // The whole registry in Prometheus text exposition format.
+  procfs_.register_file("/proc/telemetry",
+                        [this] { return engine_.telemetry().prometheus_text(); });
   procfs_.register_file("/proc/latency/locks", [this] {
     std::string out =
         "lock        acquisitions contentions      wait_ns      hold_ns\n";

@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "config/kernel_config.h"
@@ -109,6 +110,16 @@ struct CpuState {
   [[nodiscard]] bool irqs_enabled() const { return irq_off_depth == 0; }
 };
 
+/// One per-CPU latency counter exposed through both `/proc/latency/cpuN`
+/// and kernel::latency_report_json. `key` is the procfs/JSON field name;
+/// `series` is the telemetry-registry metric both render from — sharing the
+/// table is what keeps the two export paths agreeing by construction.
+struct LatencyCounterView {
+  const char* key;
+  const char* series;
+};
+[[nodiscard]] const std::vector<LatencyCounterView>& latency_counter_views();
+
 class Kernel {
  public:
   Kernel(sim::Engine& engine, const hw::Topology& topo, hw::MemorySystem& mem,
@@ -174,6 +185,18 @@ class Kernel {
   void reapply_affinities();
 
   ProcFs& procfs() { return procfs_; }
+
+  /// Read one latency counter as the procfs/JSON views render it (a thin
+  /// lookup into the engine's telemetry registry).
+  [[nodiscard]] std::uint64_t latency_counter(std::string_view series,
+                                              hw::CpuId cpu) const;
+
+  /// Zero every latency counter so a reused kernel starts a second
+  /// measurement run from a clean slate: per-CPU accounting, softirq raise
+  /// counts, lock statistics, auditor histograms, interrupt-controller
+  /// raise/delivery counts, and the registry's owned counters/histograms.
+  /// Pending work (softirq backlog, held locks, queued irqs) is untouched.
+  void reset_latency_counters();
 
   // ---- for drivers and workload effects -------------------------------------
 
@@ -287,6 +310,7 @@ class Kernel {
  private:
   void spawn_ksoftirqd(hw::CpuId cpu);
   void register_proc_files();
+  void register_telemetry();
 
   sim::Engine& engine_;
   const hw::Topology& topo_;
@@ -305,6 +329,10 @@ class Kernel {
   hw::CpuMask proc_shield_;
   ProcFs procfs_;
   LatencyAuditor auditor_;
+  /// Registry-owned counter: ns of lock hold time released from each CPU
+  /// (all locks; the only latency counter with no pre-existing CpuState
+  /// field, so it lives in the registry directly).
+  telemetry::Registry::Counter lock_hold_counter_;
   Pid next_pid_ = 1;
   bool started_ = false;
 

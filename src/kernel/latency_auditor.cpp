@@ -63,6 +63,15 @@ sim::Duration LatencyAuditor::worst_irq_off() const {
   return worst;
 }
 
+void LatencyAuditor::reset() {
+  for (auto& c : cpus_) {
+    c.irq_off.clear();
+    c.preempt_off.clear();
+  }
+  rt_sched_latency_.clear();
+  sched_latency_.clear();
+}
+
 sim::Duration LatencyAuditor::worst_preempt_off() const {
   sim::Duration worst = 0;
   for (const auto& c : cpus_) {

@@ -48,6 +48,10 @@ class LatencyAuditor {
   [[nodiscard]] sim::Duration worst_irq_off() const;
   [[nodiscard]] sim::Duration worst_preempt_off() const;
 
+  /// Clear every histogram. Holdoff intervals currently in flight keep
+  /// their start stamps and complete into the fresh histograms.
+  void reset();
+
  private:
   struct PerCpu {
     metrics::LatencyHistogram irq_off;

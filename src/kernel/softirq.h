@@ -53,7 +53,19 @@ class SoftirqPending {
   [[nodiscard]] std::uint64_t raise_count(SoftirqType t) const {
     return raised_[idx(t)];
   }
+  [[nodiscard]] std::uint64_t total_raised() const {
+    std::uint64_t sum = 0;
+    for (auto r : raised_) sum += r;
+    return sum;
+  }
   [[nodiscard]] sim::Duration total_executed() const { return executed_; }
+
+  /// Zero the raise/executed accounting without touching pending work —
+  /// in-flight bottom halves still drain after a counter reset.
+  void reset_counts() {
+    raised_.fill(0);
+    executed_ = 0;
+  }
 
  private:
   static std::size_t idx(SoftirqType t) { return static_cast<std::size_t>(t); }

@@ -69,6 +69,15 @@ class SpinLock {
   [[nodiscard]] sim::Duration total_hold() const { return total_hold_; }
   [[nodiscard]] sim::Duration total_wait() const { return total_wait_; }
 
+  /// Zero the accounting. Holder and waiter state are untouched, so a
+  /// counter reset while the lock is held cannot corrupt lock semantics.
+  void reset_counters() {
+    acquisitions_ = 0;
+    contentions_ = 0;
+    total_hold_ = 0;
+    total_wait_ = 0;
+  }
+
  private:
   LockId id_ = LockId::kCount;
   bool irq_safe_ = false;

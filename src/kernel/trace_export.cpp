@@ -48,18 +48,15 @@ std::string latency_report_json(Kernel& k,
                                 const std::vector<NamedChain>& chains) {
   std::ostringstream os;
   os << "{\"sim_time_ns\":" << k.now() << ",\"cpus\":[";
+  // Per-CPU counters come from the same view table /proc/latency/cpuN
+  // renders, so the two export paths agree field-for-field.
   for (int c = 0; c < k.ncpus(); ++c) {
-    const CpuState& cs = k.cpu(c);
     if (c != 0) os << ",";
-    os << "{\"cpu\":" << c << ",\"spin_wait_ns\":" << cs.spin_wait_time
-       << ",\"bkl_hold_ns\":" << cs.bkl_hold_time
-       << ",\"irq_ns\":" << cs.irq_time
-       << ",\"softirq_ns\":" << cs.softirq_time
-       << ",\"hardirqs\":" << cs.hardirqs
-       << ",\"switches\":" << cs.switches
-       << ",\"irq_off_max_ns\":" << k.auditor().irq_off(c).max()
-       << ",\"preempt_off_max_ns\":" << k.auditor().preempt_off(c).max()
-       << "}";
+    os << "{\"cpu\":" << c;
+    for (const LatencyCounterView& v : latency_counter_views()) {
+      os << ",\"" << v.key << "\":" << k.latency_counter(v.series, c);
+    }
+    os << "}";
   }
   os << "],\"locks\":[";
   bool first = true;

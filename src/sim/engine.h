@@ -11,6 +11,8 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 #include "sim/trace.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/registry.h"
 
 namespace sim {
 
@@ -63,12 +65,26 @@ class Engine {
   ChainTracer& chain_tracer() { return chain_tracer_; }
   const ChainTracer& chain_tracer() const { return chain_tracer_; }
 
+  /// Central metric registry. Components register counters/gauges at
+  /// construction; exporters (procfs, reports, the sampler) read it.
+  telemetry::Registry& telemetry() { return telemetry_; }
+  const telemetry::Registry& telemetry() const { return telemetry_; }
+
+  /// Post-mortem event ring (see telemetry/flight_recorder.h). Disabled by
+  /// default; recording is passive and never perturbs the event stream.
+  telemetry::FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+
  private:
   Time now_ = 0;
   EventQueue queue_;
   Rng rng_;
   Trace trace_;
   ChainTracer chain_tracer_;
+  telemetry::Registry telemetry_;
+  telemetry::FlightRecorder flight_recorder_;
   std::uint64_t events_executed_ = 0;
 };
 

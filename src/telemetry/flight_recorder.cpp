@@ -1,0 +1,56 @@
+#include "telemetry/flight_recorder.h"
+
+#include <algorithm>
+
+namespace telemetry {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kIrqRaise: return "irq-raise";
+    case EventKind::kIrqDispatch: return "irq-dispatch";
+    case EventKind::kCtxSwitch: return "ctx-switch";
+    case EventKind::kLockAcquire: return "lock-acquire";
+    case EventKind::kLockContend: return "lock-contend";
+    case EventKind::kSoftirqRaise: return "softirq-raise";
+    case EventKind::kFaultArm: return "fault-arm";
+    case EventKind::kFaultFire: return "fault-fire";
+  }
+  return "?";
+}
+
+void FlightRecorder::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (capacity != ring_.size()) {
+    ring_.assign(capacity, Entry{});
+    head_ = 0;
+    recorded_ = 0;
+  }
+  enabled_ = true;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::entries() const {
+  std::vector<Entry> out;
+  if (ring_.empty() || recorded_ == 0) return out;
+  const std::size_t kept = std::min<std::uint64_t>(recorded_, ring_.size());
+  out.reserve(kept);
+  // Oldest entry sits at head_ once the ring has wrapped; before that the
+  // ring is filled from index 0.
+  std::size_t start = recorded_ >= ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::uint64_t kept = std::min<std::uint64_t>(recorded_, ring_.size());
+  return recorded_ - kept;
+}
+
+void FlightRecorder::clear() {
+  std::fill(ring_.begin(), ring_.end(), Entry{});
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace telemetry

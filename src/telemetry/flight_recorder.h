@@ -1,0 +1,80 @@
+// Flight recorder: a fixed-size ring of recent simulation events, kept for
+// post-mortem dumps when a scenario dies (watchdog timeout, exhausted
+// retries, runtime error).
+//
+// Entries are small PODs — no strings, no allocation per record — so
+// leaving the recorder enabled costs a few stores per instrumented event.
+// Recording is strictly passive: it never schedules events, draws RNG or
+// mutates model state, so enabling it cannot change a scenario's outputs.
+// Disabled (the default) the record() fast path is a single branch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace telemetry {
+
+enum class EventKind : std::uint8_t {
+  kIrqRaise,      ///< a = irq line
+  kIrqDispatch,   ///< a = vector (negative: pseudo vectors, e.g. SMI)
+  kCtxSwitch,     ///< a = incoming pid, b = 1 when the task is RT
+  kLockAcquire,   ///< a = lock id
+  kLockContend,   ///< a = lock id, b = holder cpu (-1 unknown)
+  kSoftirqRaise,  ///< a = softirq type
+  kFaultArm,      ///< a = number of armed fault specs
+  kFaultFire,     ///< a = fault kind, b = fault-specific detail
+};
+
+[[nodiscard]] const char* to_string(EventKind k);
+
+class FlightRecorder {
+ public:
+  struct Entry {
+    sim::Time at = 0;
+    EventKind kind = EventKind::kIrqRaise;
+    std::int16_t cpu = -1;
+    std::int32_t a = 0;
+    std::int32_t b = 0;
+  };
+
+  /// Start recording into a ring of `capacity` entries. Re-enabling with a
+  /// different capacity clears the ring.
+  void enable(std::size_t capacity);
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  void record(sim::Time at, EventKind kind, int cpu, std::int32_t a = 0,
+              std::int32_t b = 0) {
+    if (!enabled_) return;
+    Entry& e = ring_[head_];
+    e.at = at;
+    e.kind = kind;
+    e.cpu = static_cast<std::int16_t>(cpu);
+    e.a = a;
+    e.b = b;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    ++recorded_;
+  }
+
+  /// Entries oldest-first. Empty when never enabled.
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+  /// Total events offered to the ring since enable().
+  [[nodiscard]] std::uint64_t total_recorded() const { return recorded_; }
+
+  /// Events that fell off the ring (total - retained).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t recorded_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace telemetry

@@ -1,0 +1,286 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace telemetry {
+
+const char* to_string(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+struct Registry::Metric {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kCounter;
+  std::string cell_label;
+  std::vector<std::string> cell_names;
+  std::vector<std::uint64_t> cells;                  // counters
+  std::vector<GaugeFn> gauges;                       // gauges
+  std::vector<metrics::LatencyHistogram> hists;      // histograms
+
+  [[nodiscard]] int cell_count() const {
+    switch (kind) {
+      case MetricKind::kCounter: return static_cast<int>(cells.size());
+      case MetricKind::kGauge: return static_cast<int>(gauges.size());
+      case MetricKind::kHistogram: return static_cast<int>(hists.size());
+    }
+    return 0;
+  }
+
+  [[nodiscard]] std::uint64_t cell_value(int c) const {
+    if (c < 0 || c >= cell_count()) return 0;
+    switch (kind) {
+      case MetricKind::kCounter:
+        return cells[static_cast<std::size_t>(c)];
+      case MetricKind::kGauge: {
+        const auto& fn = gauges[static_cast<std::size_t>(c)];
+        return fn ? fn(c) : 0;
+      }
+      case MetricKind::kHistogram:
+        return hists[static_cast<std::size_t>(c)].count();
+    }
+    return 0;
+  }
+
+  [[nodiscard]] std::string series_name(int c) const {
+    if (cell_count() == 1 && cell_label.empty()) return name;
+    std::string cell = c < static_cast<int>(cell_names.size())
+                           ? cell_names[static_cast<std::size_t>(c)]
+                           : std::to_string(c);
+    return name + "[" + cell_label + "/" + cell + "]";
+  }
+};
+
+Registry::~Registry() {
+  for (Metric* m : metrics_) delete m;
+}
+
+std::uint64_t& Registry::Counter::cell_slot(int cell) {
+  SIM_ASSERT_MSG(m_ != nullptr && cell >= 0 &&
+                     cell < static_cast<int>(m_->cells.size()),
+                 "telemetry counter cell out of range");
+  return m_->cells[static_cast<std::size_t>(cell)];
+}
+
+std::uint64_t Registry::Counter::value(int cell) const {
+  return m_ != nullptr ? m_->cell_value(cell) : 0;
+}
+
+void Registry::Histogram::add(int cell, sim::Duration v) {
+  if (m_ == nullptr) return;
+  SIM_ASSERT_MSG(cell >= 0 && cell < static_cast<int>(m_->hists.size()),
+                 "telemetry histogram cell out of range");
+  m_->hists[static_cast<std::size_t>(cell)].add(v);
+}
+
+const metrics::LatencyHistogram* Registry::Histogram::cell(int cell) const {
+  if (m_ == nullptr || cell < 0 ||
+      cell >= static_cast<int>(m_->hists.size())) {
+    return nullptr;
+  }
+  return &m_->hists[static_cast<std::size_t>(cell)];
+}
+
+Registry::Metric* Registry::find(std::string_view name) const {
+  for (Metric* m : metrics_) {
+    if (m->name == name) return m;
+  }
+  return nullptr;
+}
+
+Registry::Metric& Registry::intern(std::string_view name,
+                                   std::string_view help, MetricKind kind,
+                                   int cells, std::string_view cell_label,
+                                   std::vector<std::string> cell_names) {
+  SIM_ASSERT_MSG(cells > 0, "telemetry metric needs at least one cell");
+  if (Metric* m = find(name)) {
+    SIM_ASSERT_MSG(m->kind == kind,
+                   "telemetry metric re-registered as a different kind");
+    // Grow, never shrink: a wider platform reusing the name keeps all data.
+    const auto want =
+        static_cast<std::size_t>(std::max(cells, m->cell_count()));
+    if (kind == MetricKind::kCounter) m->cells.resize(want);
+    if (kind == MetricKind::kGauge) m->gauges.resize(want);
+    if (kind == MetricKind::kHistogram) m->hists.resize(want);
+    if (!cell_names.empty()) m->cell_names = std::move(cell_names);
+    return *m;
+  }
+  auto* m = new Metric();
+  m->name = std::string(name);
+  m->help = std::string(help);
+  m->kind = kind;
+  m->cell_label = std::string(cell_label);
+  m->cell_names = std::move(cell_names);
+  switch (kind) {
+    case MetricKind::kCounter:
+      m->cells.assign(static_cast<std::size_t>(cells), 0);
+      break;
+    case MetricKind::kGauge:
+      m->gauges.resize(static_cast<std::size_t>(cells));
+      break;
+    case MetricKind::kHistogram:
+      m->hists.resize(static_cast<std::size_t>(cells));
+      break;
+  }
+  metrics_.push_back(m);
+  return *m;
+}
+
+Registry::Counter Registry::counter(std::string_view name,
+                                    std::string_view help, int cells,
+                                    std::string_view cell_label,
+                                    std::vector<std::string> cell_names) {
+  return Counter(&intern(name, help, MetricKind::kCounter, cells, cell_label,
+                         std::move(cell_names)));
+}
+
+void Registry::gauge(std::string_view name, std::string_view help, int cells,
+                     std::string_view cell_label, GaugeFn fn,
+                     std::vector<std::string> cell_names) {
+  Metric& m = intern(name, help, MetricKind::kGauge, cells, cell_label,
+                     std::move(cell_names));
+  // One registration call binds every cell: the callback receives the cell
+  // index. Re-binding replaces stale closures from a previous component.
+  for (auto& g : m.gauges) g = fn;
+}
+
+Registry::Histogram Registry::histogram(std::string_view name,
+                                        std::string_view help, int cells,
+                                        std::string_view cell_label,
+                                        std::vector<std::string> cell_names) {
+  return Histogram(&intern(name, help, MetricKind::kHistogram, cells,
+                           cell_label, std::move(cell_names)));
+}
+
+std::uint64_t Registry::value(std::string_view name, int cell) const {
+  const Metric* m = find(name);
+  return m != nullptr ? m->cell_value(cell) : 0;
+}
+
+bool Registry::contains(std::string_view name) const {
+  return find(name) != nullptr;
+}
+
+std::size_t Registry::series_count() const {
+  std::size_t n = 0;
+  for (const Metric* m : metrics_) n += static_cast<std::size_t>(m->cell_count());
+  return n;
+}
+
+std::vector<std::string> Registry::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(series_count());
+  for (const Metric* m : metrics_) {
+    for (int c = 0; c < m->cell_count(); ++c) out.push_back(m->series_name(c));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Registry::snapshot_values() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(series_count());
+  for (const Metric* m : metrics_) {
+    for (int c = 0; c < m->cell_count(); ++c) out.push_back(m->cell_value(c));
+  }
+  return out;
+}
+
+std::vector<Registry::Sample> Registry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(series_count());
+  for (const Metric* m : metrics_) {
+    for (int c = 0; c < m->cell_count(); ++c) {
+      out.push_back(Sample{m->series_name(c), m->kind, m->cell_value(c)});
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "shieldsim_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+void prom_series(std::string& out, const std::string& metric,
+                 const std::string& label, const std::string& cell,
+                 bool labelled, std::uint64_t value) {
+  out += metric;
+  if (labelled) {
+    out += "{";
+    out += label;
+    out += "=\"";
+    out += cell;
+    out += "\"}";
+  }
+  out += " ";
+  out += std::to_string(value);
+  out += "\n";
+}
+
+}  // namespace
+
+std::string Registry::prometheus_text() const {
+  std::string out;
+  for (const Metric* m : metrics_) {
+    const std::string pname = prom_name(m->name);
+    const bool labelled = !(m->cell_count() == 1 && m->cell_label.empty());
+    const char* type =
+        m->kind == MetricKind::kCounter ? "counter" : "gauge";
+    auto cell_name = [&](int c) {
+      return c < static_cast<int>(m->cell_names.size())
+                 ? m->cell_names[static_cast<std::size_t>(c)]
+                 : std::to_string(c);
+    };
+    if (m->kind == MetricKind::kHistogram) {
+      for (const char* suffix : {"_count", "_sum_ns", "_max_ns"}) {
+        const std::string sub = pname + suffix;
+        out += "# HELP " + sub + " " + m->help + "\n";
+        out += "# TYPE " + sub + " gauge\n";
+        for (int c = 0; c < m->cell_count(); ++c) {
+          const auto& h = m->hists[static_cast<std::size_t>(c)];
+          std::uint64_t v = 0;
+          if (suffix[1] == 'c') {
+            v = h.count();
+          } else if (suffix[1] == 's') {
+            v = static_cast<std::uint64_t>(
+                h.summary().sum() < 0 ? 0 : h.summary().sum());
+          } else {
+            v = h.count() > 0 ? static_cast<std::uint64_t>(h.max()) : 0;
+          }
+          prom_series(out, sub, m->cell_label, cell_name(c), labelled, v);
+        }
+      }
+      continue;
+    }
+    out += "# HELP " + pname + " " + m->help + "\n";
+    out += "# TYPE " + pname + " " + type + "\n";
+    for (int c = 0; c < m->cell_count(); ++c) {
+      prom_series(out, pname, m->cell_label, cell_name(c), labelled,
+                  m->cell_value(c));
+    }
+  }
+  return out;
+}
+
+void Registry::reset() {
+  for (Metric* m : metrics_) {
+    std::fill(m->cells.begin(), m->cells.end(), 0);
+    for (auto& h : m->hists) h.clear();
+  }
+}
+
+}  // namespace telemetry

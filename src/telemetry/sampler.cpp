@@ -1,0 +1,48 @@
+#include "telemetry/sampler.h"
+
+#include "sim/assert.h"
+
+namespace telemetry {
+
+void Sampler::start(sim::Duration period) {
+  SIM_ASSERT_MSG(period > 0, "sampler period must be positive");
+  stop();
+  period_ = period;
+  last_ = registry_.snapshot_values();
+  running_ = true;
+  pending_ = engine_.schedule(period_, [this] { tick(); });
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+  engine_.cancel(pending_);
+  running_ = false;
+}
+
+void Sampler::tick() {
+  auto values = registry_.snapshot_values();
+  // Series registered after start() appear at the tail of the flattened
+  // order; treat their baseline as zero.
+  if (last_.size() < values.size()) last_.resize(values.size(), 0);
+
+  Point p;
+  p.at = engine_.now();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Gauges over externally-reset state can go backwards; clamp to zero
+    // delta rather than wrapping.
+    if (values[i] > last_[i]) {
+      p.deltas.emplace_back(static_cast<std::uint32_t>(i),
+                            values[i] - last_[i]);
+    }
+  }
+  last_ = std::move(values);
+  points_.push_back(std::move(p));
+
+  if (points_.size() >= kMaxPoints) {
+    running_ = false;
+    return;
+  }
+  pending_ = engine_.schedule(period_, [this] { tick(); });
+}
+
+}  // namespace telemetry

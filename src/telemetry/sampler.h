@@ -1,0 +1,68 @@
+// Time-series sampler: a sim-time periodic event that snapshots registry
+// deltas into a compact per-scenario timeline.
+//
+// Each tick reads every flattened series and stores only the (series index,
+// delta) pairs that changed since the previous tick, so a quiet series
+// costs nothing per point. The sampler reads the registry and the clock but
+// never touches model state or RNG streams — its only observable footprint
+// is the extra calendar events, which exist only when a scenario opts in.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+#include "telemetry/registry.h"
+
+namespace telemetry {
+
+class Sampler {
+ public:
+  /// Hard cap on stored points — a runaway horizon cannot exhaust memory;
+  /// sampling simply stops once the timeline is full.
+  static constexpr std::size_t kMaxPoints = 65536;
+
+  Sampler(sim::Engine& engine, Registry& registry)
+      : engine_(engine), registry_(registry) {}
+  ~Sampler() { stop(); }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Begin sampling every `period` ns of sim time. The first point lands
+  /// one period from now; the baseline snapshot is taken immediately.
+  void start(sim::Duration period);
+
+  /// Cancel the pending tick. Point data is retained.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] sim::Duration period() const { return period_; }
+
+  struct Point {
+    sim::Time at = 0;
+    /// (flattened series index, increase since previous point).
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> deltas;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  /// Flattened series names, index-aligned with Point::deltas. Taken live
+  /// from the registry so late registrations are included.
+  [[nodiscard]] std::vector<std::string> series_names() const {
+    return registry_.series_names();
+  }
+
+ private:
+  void tick();
+
+  sim::Engine& engine_;
+  Registry& registry_;
+  sim::Duration period_ = 0;
+  sim::EventId pending_{};
+  bool running_ = false;
+  std::vector<std::uint64_t> last_;
+  std::vector<Point> points_;
+};
+
+}  // namespace telemetry

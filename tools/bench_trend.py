@@ -48,26 +48,37 @@ def load_history(path):
         return json.load(f)
 
 
-def run_bench(binary, bench_filter, min_time):
+def run_bench(binary, bench_filter, min_time, repetitions):
     cmd = [binary, "--benchmark_format=json"]
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
     if min_time:
         cmd.append(f"--benchmark_min_time={min_time}")
+    if repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
     raw = subprocess.check_output(cmd, text=True)
     report = json.loads(raw)
-    benchmarks = {}
+    # Collect the per-repetition runs and record each benchmark's *median*
+    # cpu time: single-shot numbers on a shared machine swing by +/-15%,
+    # which is useless against a 2% overhead gate.
+    runs = {}
     for b in report.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
+        runs.setdefault(b["name"], []).append(b)
+    benchmarks = {}
+    for name, reps in runs.items():
+        reps.sort(key=lambda b: b["cpu_time"])
+        mid = reps[len(reps) // 2]
         entry = {
-            "cpu_time": b["cpu_time"],
-            "time_unit": b["time_unit"],
-            "iterations": b["iterations"],
+            "cpu_time": mid["cpu_time"],
+            "time_unit": mid["time_unit"],
+            "iterations": mid["iterations"],
+            "repetitions": len(reps),
         }
-        if "events" in b:  # user counter: simulated events per iteration
-            entry["events"] = b["events"]
-        benchmarks[b["name"]] = entry
+        if "events" in mid:  # user counter: simulated events per iteration
+            entry["events"] = mid["events"]
+        benchmarks[name] = entry
     return report.get("context", {}), benchmarks
 
 
@@ -86,6 +97,24 @@ def injector_overhead(benchmarks):
         "empty_plan_ns_per_event": round(delta_ns / empty["events"], 4),
         "empty_plan_pct": round(
             100.0 * (empty["cpu_time"] / base["cpu_time"] - 1.0), 2),
+    }
+
+
+def telemetry_overhead(benchmarks):
+    """What leaving the sampler + flight recorder enabled costs, per
+    simulated event, against the same scenario with telemetry off. The
+    acceptance gate for the observability layer is 2%."""
+    base = benchmarks.get("BM_SimulatedSecondUnderStressKernel")
+    on = benchmarks.get("BM_SimulatedSecondWithTelemetry")
+    if not base or not on or not on.get("events"):
+        return None
+    if base["time_unit"] != "ms" or on["time_unit"] != "ms":
+        return None
+    delta_ns = (on["cpu_time"] - base["cpu_time"]) * 1e6
+    return {
+        "enabled_ns_per_event": round(delta_ns / on["events"], 4),
+        "enabled_pct": round(
+            100.0 * (on["cpu_time"] / base["cpu_time"] - 1.0), 2),
     }
 
 
@@ -158,6 +187,14 @@ def check(history, tolerance):
         print(f"  injector empty-plan overhead {inj['empty_plan_pct']:+.1f}% "
               f"({inj['empty_plan_ns_per_event']} ns/event) exceeds 2%"
               "  <-- REGRESSION")
+    # Same 2% bar for telemetry: sampling and the flight ring must stay in
+    # the observability budget, whatever the general tolerance.
+    tel = cur.get("telemetry_overhead")
+    if tel is not None and tel["enabled_pct"] > 2.0:
+        regressions.append("telemetry_overhead")
+        print(f"  telemetry enabled overhead {tel['enabled_pct']:+.1f}% "
+              f"({tel['enabled_ns_per_event']} ns/event) exceeds 2%"
+              "  <-- REGRESSION")
     if regressions:
         print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{tolerance * 100.0:.0f}%: {', '.join(regressions)}")
@@ -181,6 +218,9 @@ def main():
     ap.add_argument("--filter", default="", help="--benchmark_filter regex")
     ap.add_argument("--min-time", default="0.2",
                     help="--benchmark_min_time seconds (default 0.2)")
+    ap.add_argument("--repetitions", type=int, default=5,
+                    help="benchmark repetitions; the recorded cpu time is "
+                         "the median across them (default 5)")
     ap.add_argument("--compare", action="store_true",
                     help="diff the last two recorded entries and exit")
     ap.add_argument("--check", action="store_true",
@@ -203,7 +243,8 @@ def main():
               file=sys.stderr)
         return 1
 
-    context, benchmarks = run_bench(args.bin, args.filter, args.min_time)
+    context, benchmarks = run_bench(args.bin, args.filter, args.min_time,
+                                    args.repetitions)
     scenario_throughput = run_scenario_throughput(args.shieldctl)
     entry = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -221,6 +262,9 @@ def main():
     overhead = injector_overhead(benchmarks)
     if overhead is not None:
         entry["injector_overhead"] = overhead
+    tel = telemetry_overhead(benchmarks)
+    if tel is not None:
+        entry["telemetry_overhead"] = tel
     history.append(entry)
     with open(args.out, "w") as f:
         json.dump(history, f, indent=2)
@@ -235,6 +279,10 @@ def main():
         print(f"injector empty-plan overhead: "
               f"{overhead['empty_plan_ns_per_event']} ns/event "
               f"({overhead['empty_plan_pct']:+.1f}%)")
+    if tel is not None:
+        print(f"telemetry enabled overhead: "
+              f"{tel['enabled_ns_per_event']} ns/event "
+              f"({tel['enabled_pct']:+.1f}%)")
     return 0
 
 

@@ -6,10 +6,14 @@
 //   shieldctl run --all [--jobs N] [--json] [--smoke]
 //                                       run scenarios (in parallel with
 //                                       --jobs), print figures or JSON
+//   shieldctl stat <scenario>           run one scenario with telemetry on
+//                                       and print its counters (table,
+//                                       --json or --prom)
 //   shieldctl demo [--seconds S]        boot a loaded RedHawk box, shield
 //                                       CPU 1 live via /proc, show reports
 //   shieldctl inspect [--seconds S]     run stress-kernel and print the
 //                                       ps/vmstat/lock tables
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,8 +22,10 @@
 
 #include "config/experiment.h"
 #include "config/scenario_runner.h"
+#include "config/telemetry_export.h"
 #include "kernel/stats_report.h"
 #include "shieldsim.h"
+#include "telemetry/registry.h"
 
 using namespace sim::literals;
 
@@ -33,6 +39,7 @@ void usage(const char* argv0, std::FILE* to) {
       "  %s describe <scenario>\n"
       "  %s run <scenario>... [options]\n"
       "  %s run --all [options]\n"
+      "  %s stat <scenario> [--seed N] [--scale X] [--top N] [--json|--prom]\n"
       "  %s demo [--seconds S] [--seed N]\n"
       "  %s inspect [--seconds S] [--seed N]\n"
       "run options:\n"
@@ -48,8 +55,17 @@ void usage(const char* argv0, std::FILE* to) {
       "  --report PATH   write the degraded-run batch report JSON to PATH\n"
       "                  (per-spec ok/retried/failed/timed_out + cache\n"
       "                  repairs); a failing spec no longer aborts the "
-      "batch\n",
-      argv0, argv0, argv0, argv0, argv0, argv0);
+      "batch\n"
+      "  --telemetry     force the sampler on for every selected scenario\n"
+      "                  (results gain a telemetry document; digests "
+      "change)\n"
+      "  --max-events N  watchdog: abort a run after N simulated events\n"
+      "  --wall-limit S  watchdog: abort a run after S wall-clock seconds\n"
+      "stat options:\n"
+      "  --top N         show the N largest series (default 25; 0 = all)\n"
+      "  --json          print the full telemetry document\n"
+      "  --prom          print the Prometheus text exposition\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 [[noreturn]] void bad_arg(char** argv, const char* what) {
@@ -67,6 +83,9 @@ struct RunArgs {
   unsigned jobs = 0;
   std::string cache_dir;
   std::string report_path;
+  bool telemetry = false;
+  std::uint64_t max_events = 0;
+  double wall_limit_s = 0.0;
 };
 
 RunArgs parse_run(int argc, char** argv, int from) {
@@ -98,6 +117,14 @@ RunArgs parse_run(int argc, char** argv, int from) {
     } else if (std::strcmp(argv[i], "--report") == 0) {
       need_value(i);
       a.report_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      a.telemetry = true;
+    } else if (std::strcmp(argv[i], "--max-events") == 0) {
+      need_value(i);
+      a.max_events = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--wall-limit") == 0) {
+      need_value(i);
+      a.wall_limit_s = std::strtod(argv[++i], nullptr);
     } else if (argv[i][0] == '-') {
       bad_arg(argv, (std::string("unknown option '") + argv[i] + "'").c_str());
     } else {
@@ -158,11 +185,16 @@ int cmd_run(const RunArgs& a) {
       specs.push_back(*s);
     }
   }
+  if (a.telemetry) {
+    for (auto& s : specs) s.telemetry.sampler = true;
+  }
 
   config::ScenarioRunner::Options ro;
   ro.jobs = a.jobs;
   ro.scale = a.scale;
   ro.cache_dir = a.cache_dir;
+  ro.max_events = a.max_events;
+  ro.wall_limit_s = a.wall_limit_s;
   config::ScenarioRunner runner(ro);
 
   if (!a.json) {
@@ -234,6 +266,104 @@ int cmd_run(const RunArgs& a) {
                  "targets inside the horizon\n");
   }
   return report.all_ok() && all_complete ? 0 : 1;
+}
+
+struct StatArgs {
+  std::string name;
+  std::uint64_t seed = 2003;
+  double scale = 1.0;
+  std::size_t top = 25;
+  bool json = false;
+  bool prom = false;
+};
+
+StatArgs parse_stat(int argc, char** argv, int from) {
+  StatArgs a;
+  const auto need_value = [&](int i) {
+    if (i + 1 >= argc) {
+      bad_arg(argv, (std::string("missing value for ") + argv[i]).c_str());
+    }
+  };
+  for (int i = from; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      need_value(i);
+      a.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      need_value(i);
+      a.scale = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      a.scale = 0.01;
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      need_value(i);
+      a.top = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      a.json = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      a.prom = true;
+    } else if (argv[i][0] == '-') {
+      bad_arg(argv, (std::string("unknown option '") + argv[i] + "'").c_str());
+    } else if (a.name.empty()) {
+      a.name = argv[i];
+    } else {
+      bad_arg(argv, "stat takes exactly one scenario");
+    }
+  }
+  if (a.name.empty()) bad_arg(argv, "stat: no scenario name given");
+  return a;
+}
+
+int cmd_stat(const StatArgs& a) {
+  const auto* base = config::ScenarioRegistry::builtin().find(a.name);
+  if (base == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try: shieldctl list)\n",
+                 a.name.c_str());
+    return 1;
+  }
+  config::ScenarioSpec spec = *base;
+  spec.telemetry.sampler = true;  // stat is pointless without the sampler
+
+  config::ScenarioRunner::Options ro;
+  ro.scale = a.scale;
+  ro.cache = false;  // hooks force a fresh run anyway; don't pollute caches
+  config::ScenarioRunner runner(ro);
+
+  // The registry lives on the engine inside the run's Platform, so the
+  // Prometheus text and the top-N snapshot must be harvested through the
+  // finished hook, while the platform is still alive.
+  std::string prom;
+  std::vector<telemetry::Registry::Sample> samples;
+  config::ScenarioRunner::Hooks hooks;
+  hooks.finished = [&](config::Platform& p, rt::Probe&) {
+    prom = p.engine().telemetry().prometheus_text();
+    samples = p.engine().telemetry().snapshot();
+  };
+  const auto r = runner.run(spec, a.seed, hooks);
+
+  if (a.prom) {
+    std::fputs(prom.c_str(), stdout);
+    return 0;
+  }
+  if (a.json) {
+    std::printf("%s\n", r.telemetry.dump(2).c_str());
+    return 0;
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const auto& x, const auto& y) { return x.value > y.value; });
+  std::printf("%s: %zu series after %llu events (seed %llu, scale %g)\n",
+              spec.name.c_str(), samples.size(),
+              static_cast<unsigned long long>(r.events),
+              static_cast<unsigned long long>(a.seed), a.scale);
+  std::size_t shown = 0;
+  for (const auto& s : samples) {
+    if (a.top != 0 && shown >= a.top) break;
+    if (s.value == 0) continue;  // quiet series are noise in a top table
+    std::printf("  %-44s %14llu  (%s)\n", s.series.c_str(),
+                static_cast<unsigned long long>(s.value),
+                to_string(s.kind));
+    ++shown;
+  }
+  if (shown == 0) std::printf("  (all series are zero)\n");
+  return 0;
 }
 
 struct Args {
@@ -318,6 +448,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list(argc, argv);
   if (cmd == "describe" && argc >= 3) return cmd_describe(argv[2]);
   if (cmd == "run") return cmd_run(parse_run(argc, argv, 2));
+  if (cmd == "stat") return cmd_stat(parse_stat(argc, argv, 2));
   if (cmd == "demo") return cmd_demo(Args::parse(argc, argv, 2));
   if (cmd == "inspect") return cmd_inspect(Args::parse(argc, argv, 2));
   if (cmd == "--help" || cmd == "help") {

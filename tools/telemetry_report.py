@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Render a telemetry document (shieldctl stat --json / result.telemetry).
+
+Default mode prints the final counters (largest first) and, when the
+document carries a sampler timeline, a per-series activity summary with a
+sparkline of per-tick deltas — which simulated interval an IRQ storm or a
+softirq flood actually occupied, not just its total.
+
+Diff mode (--diff A B) compares the final counters of two runs and prints
+the series that moved, largest absolute change first: the quickest way to
+see what a kernel-config or shielding change did to a scenario.
+
+Accepted inputs: a telemetry-v1 object, a `shieldctl run --json` array
+(every entry with a telemetry document is rendered), or any object with a
+result.telemetry / telemetry member.
+
+Stdlib only; no third-party dependencies.
+
+Usage:
+  tools/telemetry_report.py DOC.json [--top N]
+  tools/telemetry_report.py --diff A.json B.json [--top N]
+"""
+
+import json
+import os
+import sys
+
+SPARK = "▁▂▃▄▅▆▇█"
+
+
+class ReportError(Exception):
+    """An input that cannot be rendered; message names file and cause."""
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        raise ReportError(f"{path}: cannot read: {e.strerror}")
+    if not text.strip():
+        raise ReportError(f"{path}: file is empty")
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as e:
+        raise ReportError(f"{path}: not valid JSON ({e})")
+
+
+def extract_docs(obj, path):
+    """Pull every telemetry-v1 document out of whatever shape we were fed."""
+    if isinstance(obj, dict):
+        if obj.get("schema") == "telemetry-v1":
+            return [("", obj)]
+        for key in ("telemetry",):
+            if isinstance(obj.get(key), dict):
+                return [("", obj[key])]
+        result = obj.get("result")
+        if isinstance(result, dict) and isinstance(result.get("telemetry"), dict):
+            name = obj.get("spec", {}).get("name", "")
+            return [(name, result["telemetry"])]
+    if isinstance(obj, list):
+        docs = []
+        for entry in obj:
+            if isinstance(entry, dict):
+                docs.extend(extract_docs(entry, path))
+        if docs:
+            return docs
+    raise ReportError(
+        f"{path}: no telemetry document found — expected telemetry-v1 "
+        "(from `shieldctl stat --json`, or `shieldctl run --telemetry "
+        "--json`; plain runs carry no telemetry)")
+
+
+def sparkline(values, width=32):
+    """Downsample per-tick deltas into a fixed-width unicode sparkline."""
+    if not values:
+        return ""
+    if len(values) > width:
+        chunk = len(values) / width
+        values = [
+            sum(values[int(i * chunk):max(int(i * chunk) + 1,
+                                          int((i + 1) * chunk))])
+            for i in range(width)
+        ]
+    peak = max(values)
+    if peak == 0:
+        return SPARK[0] * len(values)
+    return "".join(SPARK[min(len(SPARK) - 1,
+                             int(v * len(SPARK) / (peak + 1)))]
+                   for v in values)
+
+
+def timeline_activity(doc):
+    """Per-series list of per-tick deltas from the sparse timeline."""
+    timeline = doc.get("timeline")
+    if not isinstance(timeline, dict):
+        return None, None
+    series = timeline.get("series", [])
+    ticks = timeline.get("points", [])
+    activity = {}
+    for t, point in enumerate(ticks):
+        for index, delta in point.get("d", []):
+            if index >= len(series):
+                continue  # series registered after the name list was taken
+            row = activity.setdefault(series[index], [0] * len(ticks))
+            row[t] = delta
+    return timeline, activity
+
+
+def print_doc(name, doc, top):
+    if name:
+        print(f"== {name} ==")
+    counters = doc.get("counters", {})
+    nonzero = sorted(((v, k) for k, v in counters.items() if v),
+                     reverse=True)
+    print(f"{len(counters)} series, {len(nonzero)} non-zero")
+    for value, series in nonzero[:top] if top else nonzero:
+        print(f"  {series:<44} {value:>14}")
+    if top and len(nonzero) > top:
+        print(f"  ... {len(nonzero) - top} more (raise --top)")
+
+    timeline, activity = timeline_activity(doc)
+    if timeline is None:
+        return
+    ticks = timeline.get("points", [])
+    period = timeline.get("period_ns", 0)
+    print(f"\ntimeline: {len(ticks)} points every {period} ns")
+    busiest = sorted(activity.items(), key=lambda kv: -sum(kv[1]))
+    for series, deltas in busiest[:top] if top else busiest:
+        total = sum(deltas)
+        if total == 0:
+            continue
+        print(f"  {series:<44} {total:>14}  {sparkline(deltas)}")
+
+
+def print_diff(path_a, path_b, top):
+    docs_a = extract_docs(load_json(path_a), path_a)
+    docs_b = extract_docs(load_json(path_b), path_b)
+    if len(docs_a) != 1 or len(docs_b) != 1:
+        raise ReportError("--diff needs exactly one telemetry document "
+                          "per file")
+    a = docs_a[0][1].get("counters", {})
+    b = docs_b[0][1].get("counters", {})
+    rows = []
+    for series in sorted(set(a) | set(b)):
+        va, vb = a.get(series, 0), b.get(series, 0)
+        if va != vb:
+            rows.append((abs(vb - va), series, va, vb))
+    rows.sort(reverse=True)
+    print(f"a: {path_a}\nb: {path_b}")
+    print(f"{len(rows)} of {len(set(a) | set(b))} series differ")
+    print(f"  {'series':<44} {'a':>14} {'b':>14} {'delta':>15}")
+    for _, series, va, vb in rows[:top] if top else rows:
+        print(f"  {series:<44} {va:>14} {vb:>14} {vb - va:>+15}")
+    if top and len(rows) > top:
+        print(f"  ... {len(rows) - top} more (raise --top)")
+
+
+def main(argv):
+    args = argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    top = 25
+    if "--top" in args:
+        i = args.index("--top")
+        try:
+            top = int(args[i + 1])
+        except (IndexError, ValueError):
+            print("telemetry_report: --top needs an integer", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    try:
+        if args and args[0] == "--diff":
+            if len(args) != 3:
+                print("telemetry_report: --diff needs exactly two files",
+                      file=sys.stderr)
+                return 2
+            print_diff(args[1], args[2], top)
+            return 0
+        for i, path in enumerate(args):
+            if i:
+                print()
+            docs = extract_docs(load_json(path), path)
+            multiple = len(docs) > 1
+            for j, (name, doc) in enumerate(docs):
+                if j:
+                    print()
+                print_doc(name if multiple or name else path, doc, top)
+        return 0
+    except ReportError as e:
+        print(f"telemetry_report: {e}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

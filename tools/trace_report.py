@@ -16,6 +16,33 @@ import json
 import sys
 
 
+class ReportError(Exception):
+    """A report file that cannot be rendered; message names file and cause."""
+
+
+def load_report(path):
+    """Parse one report, turning the empty/truncated/wrong-shape cases into
+    a ReportError with a usable message instead of a traceback."""
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        raise ReportError(f"{path}: cannot read: {e.strerror}")
+    if not text.strip():
+        raise ReportError(
+            f"{path}: file is empty — the run produced no trace output "
+            "(was the tracer compiled out or never enabled?)")
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise ReportError(f"{path}: not valid JSON ({e})")
+    if not isinstance(report, dict) or "sim_time_ns" not in report:
+        raise ReportError(
+            f"{path}: not a latency report (no 'sim_time_ns' field); "
+            "expected the output of latency_report_json / bench --trace-json")
+    return report
+
+
 def fmt_ns(ns):
     """Render nanoseconds with an adaptive unit, matching format_duration."""
     ns = int(ns)
@@ -29,14 +56,18 @@ def fmt_ns(ns):
 
 
 def print_chain(label, chain):
-    total = chain["total_ns"]
+    total = chain.get("total_ns", 0)
     print(f"\n== {label} ==")
-    print(f"origin {chain['origin']}, total {fmt_ns(total)} "
-          f"({len(chain['segments'])} segments)")
+    segments = chain.get("segments", [])
+    print(f"origin {chain.get('origin', '?')}, total {fmt_ns(total)} "
+          f"({len(segments)} segments)")
+    if not segments:
+        print("  (no samples: the chain recorded zero segments)")
+        return
 
     # Timeline: every segment in order.
     print(f"  {'offset':>12}  {'span':>12}  {'%':>6}  segment")
-    for seg in chain["segments"]:
+    for seg in segments:
         pct = 100.0 * seg["span_ns"] / total if total else 0.0
         where = seg["kind"]
         if seg.get("cpu", -1) >= 0:
@@ -49,7 +80,7 @@ def print_chain(label, chain):
 
     # Attribution: aggregate by (kind, detail), largest first.
     by_kind = {}
-    for seg in chain["segments"]:
+    for seg in segments:
         key = (seg["kind"], seg.get("detail", ""))
         by_kind[key] = by_kind.get(key, 0) + seg["span_ns"]
     print("  attribution:")
@@ -64,8 +95,7 @@ def print_chain(label, chain):
 
 
 def print_report(path):
-    with open(path) as f:
-        report = json.load(f)
+    report = load_report(path)
 
     print(f"# {path}")
     print(f"simulated time: {fmt_ns(report['sim_time_ns'])}")
@@ -114,7 +144,11 @@ def main(argv):
     for i, path in enumerate(argv[1:]):
         if i:
             print()
-        print_report(path)
+        try:
+            print_report(path)
+        except ReportError as e:
+            print(f"trace_report: {e}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -47,6 +47,46 @@ assert report["ok"] == report["total"] > 0, report
 assert report["cache_entries_recomputed"] >= int(sys.argv[2]), report
 EOF
 
+# Telemetry smoke: a fault scenario with the sampler forced on must yield a
+# Prometheus exposition that parses line-by-line and a timeline with points,
+# and a forced watchdog timeout must leave a flight-recorder dump in the
+# degraded-run report. Also the trace_report regression: empty/garbage chain
+# files exit 1 with a message instead of a traceback.
+./build/tools/shieldctl stat faults-storm-shielded --smoke --prom \
+  > "${cachedir}/telemetry.prom"
+./build/tools/shieldctl stat faults-storm-shielded --smoke --json \
+  > "${cachedir}/telemetry.json"
+./build/tools/shieldctl run faults-storm-shielded --smoke --max-events 20000 \
+  --report "${cachedir}/timeout-report.json" > /dev/null 2>&1 && {
+    echo "verify: watchdogged run unexpectedly exited 0"; exit 1; } || true
+python3 - "${cachedir}" <<'EOF'
+import json, os, sys
+d = sys.argv[1]
+lines = [l for l in open(os.path.join(d, "telemetry.prom"))
+         if l.strip() and not l.startswith("#")]
+assert lines, "empty prometheus exposition"
+for line in lines:
+    name, value = line.rsplit(None, 1)
+    assert name.startswith("shieldsim_"), line
+    int(value)  # every sample parses as an integer
+doc = json.load(open(os.path.join(d, "telemetry.json")))
+assert doc["schema"] == "telemetry-v1", doc.get("schema")
+assert doc["timeline"]["points"], "sampler produced no points"
+assert any(doc["counters"].values()), "all counters zero"
+report = json.load(open(os.path.join(d, "timeout-report.json")))
+assert report["timed_out"] == 1, report
+dump = report["outcomes"][0]["flight_recording"]
+assert dump["schema"] == "flight-recorder-v1", dump
+assert dump["events"], "flight dump has no events"
+EOF
+python3 tools/telemetry_report.py "${cachedir}/telemetry.json" > /dev/null
+: > "${cachedir}/empty.json"
+if python3 tools/trace_report.py "${cachedir}/empty.json" \
+    2> "${cachedir}/trace-err.txt"; then
+  echo "verify: trace_report accepted an empty file"; exit 1
+fi
+grep -q "empty" "${cachedir}/trace-err.txt"
+
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan
