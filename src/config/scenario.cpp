@@ -271,7 +271,23 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
 }
 
 std::string ScenarioSpec::digest() const {
-  return json::content_digest(to_json());
+  // The digest keys the result caches, so it must cover exactly the fields
+  // that can change a fixed-(seed, scale) run's output — no more, no less.
+  // Presentation fields (title, description, group, paper_ref) are
+  // excluded: editing prose must never invalidate a cache. So is
+  // `transient`: it only governs whether *failures* are retried at derived
+  // seeds, never what any single (spec, seed) attempt simulates. `name`
+  // stays in — it is copied into the result JSON.
+  Value v = to_json();
+  Value d = Value::object();
+  for (const auto& [key, val] : v.members()) {
+    if (key == "title" || key == "description" || key == "group" ||
+        key == "paper_ref" || key == "transient") {
+      continue;
+    }
+    d.set(key, val);
+  }
+  return json::content_digest(d);
 }
 
 void ScenarioSpec::validate() const {

@@ -13,8 +13,11 @@
 
 #include "config/telemetry_export.h"
 #include "fault/injector.h"
+#include "kernel/trace_export.h"
 #include "metrics/report.h"
+#include "sim/arena.h"
 #include "sim/rng.h"
+#include "sim/snapshot.h"
 #include "telemetry/sampler.h"
 #include "workload/registry.h"
 
@@ -204,6 +207,53 @@ void quarantine_cache_file(const std::string& path) {
   (void)std::rename(path.c_str(), (path + ".quarantined").c_str());
 }
 
+// ---- prefix sharing ---------------------------------------------------------
+
+/// Which part of a spec the shared prefix covers: platform construction,
+/// workload installation and boot. Shield plan, probe, probe params,
+/// faults, telemetry and duration are all applied after the fork, so they
+/// stay out of the key. `ramp_ns` reserves room for a future simulated
+/// warm-up period shared by the prefix.
+std::string prefix_key(const ScenarioSpec& spec) {
+  Value v = Value::object();
+  v.set("machine", spec.machine);
+  v.set("kernel", spec.kernel);
+  v.set("kernel_overrides", spec.kernel_overrides);
+  v.set("ht_override",
+        spec.ht_override ? Value(*spec.ht_override) : Value());
+  Value wl = Value::array();
+  for (const auto& w : spec.workloads) {
+    Value e = Value::object();
+    e.set("name", w.name);
+    e.set("params", w.params);
+    wl.push(std::move(e));
+  }
+  v.set("workloads", std::move(wl));
+  v.set("ramp_ns", 0);
+  return json::content_digest(v);
+}
+
+/// Root folded into every prefix-platform seed; the per-prefix seed is
+/// derived from the prefix key so identical prefixes are identical across
+/// processes and runs.
+constexpr std::uint64_t kPrefixSeedRoot = 0x707265666978ull;  // "prefix"
+
+/// Function-local statics in model code (the probe/workload factory maps,
+/// the kernel's latency-counter view table, stream/locale machinery) must
+/// make their first heap allocation on the ordinary heap: a static whose
+/// buffer landed in an arena would dangle once that arena rewinds. The
+/// factory maps are touched by ScenarioSpec::validate() (always called
+/// before any arena activates); this covers the rest, once per process.
+void warm_process_statics() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    (void)kernel::latency_counter_views();
+    std::ostringstream os;
+    os << 0.5;
+    (void)os.str();
+  });
+}
+
 /// mkdir -p. Returns false when the final path is not a directory.
 bool make_dirs(const std::string& path) {
   std::string dir;
@@ -224,6 +274,82 @@ bool make_dirs(const std::string& path) {
 
 }  // namespace
 
+// ---- PrefixCache -----------------------------------------------------------
+
+/// Bounded LRU of warmed prefixes. Each entry owns a pooled StateArena
+/// hosting a constructed, booted Platform plus the Snapshot taken right
+/// after boot. One run uses an entry at a time (Entry::mu); batch
+/// scheduling groups same-prefix specs onto one worker so the lock is
+/// uncontended on the hot path.
+class ScenarioRunner::PrefixCache {
+ public:
+  struct Entry {
+    std::mutex mu;
+    sim::StateArena* arena = nullptr;  // pooled; returned by the destructor
+    Platform* platform = nullptr;      // arena-allocated; null until built
+    sim::Snapshot snap;
+    std::uint64_t prefix_seed = 0;
+    std::uint64_t last_used = 0;  // LRU tick, guarded by the cache mutex
+
+    Entry() : arena(sim::StateArena::acquire_pooled()) {}
+    ~Entry() {
+      if (platform != nullptr) {
+        sim::StateArena::Scope scope(*arena);
+        // Roll back to the snapshot first so the destructor walks the
+        // coherent post-boot object graph, not whatever state the last
+        // forked run left behind.
+        if (snap.valid()) snap.restore(*arena);
+        delete platform;
+      }
+      sim::StateArena::release_pooled(arena);
+    }
+    Entry(const Entry&) = delete;
+    Entry& operator=(const Entry&) = delete;
+  };
+
+  explicit PrefixCache(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  /// Look up or insert the entry for `key`. The caller locks the entry's
+  /// mutex and builds the prefix if `platform` is still null. When the
+  /// cache is full and every resident entry is in use, the returned entry
+  /// is transient (not cached) — correctness never waits on capacity.
+  std::shared_ptr<Entry> acquire(const std::string& key) {
+    const std::scoped_lock hold(mu_);
+    ++tick_;
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      it->second->last_used = tick_;
+      return it->second;
+    }
+    if (entries_.size() >= capacity_) evict_one_unlocked();
+    auto entry = std::make_shared<Entry>();
+    entry->last_used = tick_;
+    if (entries_.size() < capacity_) entries_.emplace(key, entry);
+    return entry;
+  }
+
+ private:
+  void evict_one_unlocked() {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (victim != entries_.end() &&
+          it->second->last_used >= victim->second->last_used) {
+        continue;
+      }
+      if (it->second->mu.try_lock()) {  // skip entries mid-run
+        it->second->mu.unlock();
+        victim = it;
+      }
+    }
+    if (victim != entries_.end()) entries_.erase(victim);
+  }
+
+  std::mutex mu_;
+  std::uint64_t tick_ = 0;
+  std::size_t capacity_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
 // ---- ScenarioResult --------------------------------------------------------
 
 json::Value ScenarioResult::to_json() const {
@@ -233,6 +359,7 @@ json::Value ScenarioResult::to_json() const {
   v.set("seed", seed);
   v.set("scale", scale);
   v.set("events", events);
+  v.set("duration_ns", duration_ns);
   v.set("probe", probe_result_to_json(probe));
   // Absent entirely when telemetry was off, so older cache entries and
   // telemetry-free results keep their exact serialized form.
@@ -247,6 +374,7 @@ ScenarioResult ScenarioResult::from_json(const json::Value& v) {
   if (const Value* f = v.find("seed")) r.seed = f->as_u64();
   if (const Value* f = v.find("scale")) r.scale = f->as_double();
   if (const Value* f = v.find("events")) r.events = f->as_u64();
+  if (const Value* f = v.find("duration_ns")) r.duration_ns = f->as_u64();
   if (const Value* f = v.find("probe")) r.probe = probe_result_from_json(*f);
   if (const Value* f = v.find("telemetry")) r.telemetry = *f;
   return r;
@@ -327,6 +455,16 @@ json::Value BatchReport::to_json() const {
   v.set("failed", count(RunStatus::kFailed));
   v.set("timed_out", count(RunStatus::kTimedOut));
   v.set("cache_entries_recomputed", cache_entries_recomputed);
+  // Only present when the batch ran with prefix sharing, so reports from
+  // runners with the feature off keep their exact serialized form.
+  if (prefix_hits + prefix_misses > 0) {
+    Value pr = Value::object();
+    pr.set("hits", prefix_hits);
+    pr.set("misses", prefix_misses);
+    pr.set("hit_rate", static_cast<double>(prefix_hits) /
+                           static_cast<double>(prefix_hits + prefix_misses));
+    v.set("prefix_reuse", std::move(pr));
+  }
   Value arr = Value::array();
   for (const auto& o : outcomes) arr.push(o.to_json());
   v.set("outcomes", std::move(arr));
@@ -337,6 +475,10 @@ json::Value BatchReport::to_json() const {
 
 ScenarioRunner::ScenarioRunner(Options opt)
     : opt_(std::move(opt)), sweep_(opt_.jobs) {
+  if (opt_.prefix_reuse) {
+    prefix_cache_ =
+        std::make_unique<PrefixCache>(opt_.prefix_cache_entries);
+  }
   if (!opt_.cache_dir.empty()) {
     const bool usable =
         make_dirs(opt_.cache_dir) && ::access(opt_.cache_dir.c_str(), W_OK) == 0;
@@ -350,10 +492,19 @@ ScenarioRunner::ScenarioRunner(Options opt)
   }
 }
 
+ScenarioRunner::~ScenarioRunner() = default;
+
 std::string ScenarioRunner::cache_key(const std::string& digest,
-                                      std::uint64_t seed) const {
-  return digest + "-" + std::to_string(seed) + "-" +
-         Value(opt_.scale).dump();
+                                      std::uint64_t seed, bool forked) const {
+  // A forked run is deterministic but draws different streams than a cold
+  // run of the same (spec, seed), so the two must never share a cache slot.
+  // The marker is versioned with the fork semantics. "-es1" versions the
+  // early-stop horizon semantics (sample-bound runs end when the probe
+  // banks its budget, so latency/telemetry exports cover a shorter
+  // window); full_horizon runs keep the legacy key form and stay
+  // compatible with entries written before early stop existed.
+  return digest + "-" + std::to_string(seed) + "-" + Value(opt_.scale).dump() +
+         (opt_.full_horizon ? "" : "-es1") + (forked ? "-fork1" : "");
 }
 
 std::string ScenarioRunner::cache_path(const std::string& key) const {
@@ -364,7 +515,10 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
                                    std::uint64_t seed, const Hooks& hooks) {
   const bool observed = hooks.configured != nullptr ||
                         hooks.finished != nullptr;
-  const std::string key = cache_key(spec.digest(), seed);
+  // Hooks need a cold platform built in this very call; everything else
+  // may fork a shared prefix when the runner has prefix_reuse on.
+  const bool forked = opt_.prefix_reuse && !observed;
+  const std::string key = cache_key(spec.digest(), seed, forked);
   if (opt_.cache && !observed) {
     {
       const std::scoped_lock hold(cache_mutex_);
@@ -392,7 +546,8 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec,
     }
   }
 
-  ScenarioResult r = run_uncached(spec, seed, hooks);
+  ScenarioResult r =
+      forked ? run_forked(spec, seed) : run_uncached(spec, seed, hooks);
   if (opt_.cache && !observed) {
     const std::scoped_lock hold(cache_mutex_);
     memory_cache_[key] = r;
@@ -463,8 +618,9 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
     sampler->start(spec.telemetry.sample_period_ns);
   }
 
+  const sim::Time run_start = p.engine().now();
   try {
-    run_to_horizon(spec, p, horizon);
+    run_to_horizon(spec, p, horizon, *probe);
   } catch (const ScenarioAbort&) {
     throw;  // already carries its dump
   } catch (const std::exception& e) {
@@ -484,6 +640,7 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
   r.scale = opt_.scale;
   r.probe = probe->result();
   r.events = p.engine().events_executed();
+  r.duration_ns = static_cast<std::uint64_t>(p.engine().now() - run_start);
   if (sampler) {
     sampler->stop();
     Value t = Value::object();
@@ -495,11 +652,159 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
   return r;
 }
 
+ScenarioResult ScenarioRunner::run_forked(const ScenarioSpec& spec,
+                                          std::uint64_t seed) {
+  spec.validate();  // also touches the factory-map statics (see warm note)
+  const auto machine = find_machine(spec.machine);
+  auto kcfg = *find_kernel(spec.kernel);
+  apply_kernel_overrides(kcfg, spec.kernel_overrides);
+  warm_process_statics();
+
+  const std::string pkey = prefix_key(spec);
+  const auto entry = prefix_cache_->acquire(pkey);
+  const std::scoped_lock hold(entry->mu);
+
+  ScenarioResult out;
+  std::exception_ptr failure;
+  try {
+    sim::StateArena::Scope scope(*entry->arena);
+    if (entry->platform == nullptr) {
+      // Miss: simulate the prefix — construct, install workloads, boot —
+      // then checkpoint. The prefix platform's seed derives from the
+      // prefix key, never from the scenario seed: siblings must share the
+      // prefix bit-for-bit, and divergence enters only at the fork below.
+      prefix_misses_.fetch_add(1);
+      entry->arena->reset();
+      entry->prefix_seed = sim::derive_seed(kPrefixSeedRoot, pkey);
+      auto* p = new Platform(*machine, kcfg, entry->prefix_seed,
+                             spec.ht_override);
+      for (const auto& w : spec.workloads) {
+        workload::make_workload(w.name, w.params)->install(*p);
+      }
+      p->boot();
+      entry->snap = sim::Snapshot::capture(*entry->arena);
+      entry->platform = p;
+    } else {
+      // Hit: rewind the arena to the post-boot checkpoint. This also
+      // wipes everything the previous forked run did — counters, flight
+      // ring, pending events — so the child observes a pristine prefix.
+      prefix_hits_.fetch_add(1);
+      entry->snap.restore(*entry->arena);
+    }
+    Platform& p = *entry->platform;
+
+    // Fork: reseed the engine's root stream from the fork label. Streams
+    // split before the snapshot (devices, workloads) continue their
+    // checkpointed sequences identically in every sibling; every stream
+    // split after this point (probe, injector) diverges per (spec, seed).
+    p.engine().reseed(sim::derive_seed(
+        entry->prefix_seed, sim::SeedDomain::kFork,
+        spec.digest() + "#" + std::to_string(seed)));
+
+    // The ring starts empty here — the prefix is simulated with the
+    // recorder off and a restore wipes any previous child's entries — so
+    // a watchdog dump from this child carries only this child's events.
+    const bool watchdog = opt_.max_events > 0 || opt_.wall_limit_s > 0.0;
+    if (spec.telemetry.flight_recorder || watchdog) {
+      const int cap = spec.telemetry.flight_recorder
+                          ? spec.telemetry.flight_capacity
+                          : 4096;
+      p.engine().flight_recorder().enable(static_cast<std::size_t>(cap));
+    }
+
+    // Post-boot probe construction: probe tasks enter the scheduler as
+    // immediately runnable, which create_task supports on a live kernel.
+    const auto probe =
+        rt::make_probe(spec.probe, p, spec.probe_params, opt_.scale);
+    apply_shield(spec, p, *probe);
+    probe->start();
+
+    sim::Duration horizon;
+    if (spec.duration.fixed_ns > 0) {
+      horizon = static_cast<sim::Duration>(
+          static_cast<double>(spec.duration.fixed_ns) * opt_.scale);
+    } else {
+      horizon = static_cast<sim::Duration>(
+                    static_cast<double>(probe->base_duration()) *
+                    spec.duration.factor) +
+                spec.duration.margin_ns;
+    }
+    if (horizon <= 0) {
+      throw std::runtime_error(
+          "scenario '" + spec.name +
+          "': computed horizon is zero — check the duration policy (and "
+          "--scale; scaling a fixed horizon down to nothing counts)");
+    }
+
+    std::unique_ptr<fault::Injector> injector;
+    if (!spec.faults.empty()) {
+      injector = std::make_unique<fault::Injector>(p, spec.faults, seed);
+      injector->arm(p.engine().now() + horizon);
+    }
+
+    std::optional<telemetry::Sampler> sampler;
+    if (spec.telemetry.sampler) {
+      sampler.emplace(p.engine(), p.engine().telemetry());
+      sampler->start(spec.telemetry.sample_period_ns);
+    }
+
+    const sim::Time run_start = p.engine().now();
+    run_to_horizon(spec, p, horizon, *probe);
+
+    ScenarioResult r;
+    r.name = spec.name;
+    r.digest = spec.digest();
+    r.seed = seed;
+    r.scale = opt_.scale;
+    r.probe = probe->result();
+    r.events = p.engine().events_executed();
+    r.duration_ns = static_cast<std::uint64_t>(p.engine().now() - run_start);
+    if (sampler) {
+      sampler->stop();
+      Value t = Value::object();
+      t.set("schema", "telemetry-v1");
+      t.set("counters", telemetry_counters_json(p.engine().telemetry()));
+      t.set("timeline", telemetry_timeline_json(*sampler));
+      r.telemetry = std::move(t);
+    }
+    // Deep-copy the result off the arena: `r`'s innards live in arena
+    // memory that the next fork's restore will rewind.
+    scope.pause();
+    out = r;
+    scope.resume();
+  } catch (const ScenarioTimeout& e) {
+    // Rebuild every failure on the ordinary heap before the entry unlocks:
+    // the original exception's message and flight dump live in the arena,
+    // which the next acquirer will rewind.
+    failure = std::make_exception_ptr(
+        ScenarioTimeout(e.what(), json::Value(e.flight_recording())));
+  } catch (const ScenarioAbort& e) {
+    failure = std::make_exception_ptr(
+        ScenarioFailure(e.what(), json::Value(e.flight_recording())));
+  } catch (const std::exception& e) {
+    failure = std::make_exception_ptr(std::runtime_error(e.what()));
+  }
+  if (failure) std::rethrow_exception(failure);
+  return out;
+}
+
 void ScenarioRunner::run_to_horizon(const ScenarioSpec& spec, Platform& p,
-                                    sim::Duration horizon) const {
+                                    sim::Duration horizon,
+                                    const rt::Probe& probe) const {
   const bool watchdog = opt_.max_events > 0 || opt_.wall_limit_s > 0.0;
-  if (!watchdog) {
-    p.run_for(horizon);  // the zero-overhead path every existing caller gets
+  // The horizon of a sample-bound spec is an upper bound, not a target:
+  // DurationPolicy pads the probe's nominal duration with factor + margin
+  // so abnormal-latency runs still finish, and the probe freezes its
+  // result (the measuring task exits) the moment the budget is banked.
+  // Simulating past that point adds nothing to any export, so the run
+  // stops at the first slice boundary where the probe reports done. The
+  // check cadence derives from the probe's own nominal duration — not the
+  // horizon — so duration-policy slack can never shift the stop time (and
+  // therefore never perturbs the latency report or telemetry timeline).
+  const bool sample_bound = !opt_.full_horizon && spec.duration.fixed_ns == 0 &&
+                            probe.base_duration() > 0;
+  if (!watchdog && !sample_bound) {
+    p.run_for(horizon);  // the zero-overhead path for fixed-duration specs
     return;
   }
   const std::uint64_t start_events = p.engine().events_executed();
@@ -507,8 +812,11 @@ void ScenarioRunner::run_to_horizon(const ScenarioSpec& spec, Platform& p,
   const sim::Time end = p.engine().now() + horizon;
   // Slice the horizon so the budgets are checked often enough to matter but
   // rarely enough that the loop itself is noise.
-  const auto slice = std::max<sim::Duration>(1, horizon / 64);
+  const auto slice = sample_bound
+                         ? std::max<sim::Duration>(1, probe.base_duration() / 64)
+                         : std::max<sim::Duration>(1, horizon / 64);
   while (p.engine().now() < end) {
+    if (sample_bound && probe.done()) break;
     p.run_until(std::min<sim::Time>(end, p.engine().now() + slice));
     if (opt_.max_events > 0 &&
         p.engine().events_executed() - start_events > opt_.max_events) {
@@ -531,6 +839,164 @@ void ScenarioRunner::run_to_horizon(const ScenarioSpec& spec, Platform& p,
       }
     }
   }
+}
+
+ScenarioRunner::SnapshotCheck ScenarioRunner::snapshot_bit_identity(
+    const ScenarioSpec& spec, std::uint64_t seed) {
+  spec.validate();
+  const auto machine = find_machine(spec.machine);
+  auto kcfg = *find_kernel(spec.kernel);
+  apply_kernel_overrides(kcfg, spec.kernel_overrides);
+  warm_process_statics();
+  SnapshotCheck out;
+
+  // Baseline: the ordinary malloc-hosted, uninterrupted run, with a
+  // finished-hook grabbing the latency report at the same point the
+  // arena-hosted extractions below will.
+  std::string baseline_latency;
+  Hooks hooks;
+  hooks.finished = [&](Platform& p, rt::Probe&) {
+    baseline_latency = kernel::latency_report_json(p.kernel(), {});
+  };
+  const ScenarioResult base = run_uncached(spec, seed, hooks);
+  out.baseline = base.to_json().dump(2) + "\n" + baseline_latency;
+
+  // Arena-hosted replica of run_uncached's exact sequence, split at
+  // mid-horizon: run the first half, snapshot, continue to the end and
+  // extract; then restore and re-run the second half and extract again.
+  // All three serialized outputs must agree to the byte.
+  sim::PooledArena arena;
+  {
+    sim::StateArena::Scope scope(*arena);
+    auto* p = new Platform(*machine, kcfg, seed, spec.ht_override);
+    const bool watchdog = opt_.max_events > 0 || opt_.wall_limit_s > 0.0;
+    if (spec.telemetry.flight_recorder || watchdog) {
+      const int cap = spec.telemetry.flight_recorder
+                          ? spec.telemetry.flight_capacity
+                          : 4096;
+      p->engine().flight_recorder().enable(static_cast<std::size_t>(cap));
+    }
+    for (const auto& w : spec.workloads) {
+      workload::make_workload(w.name, w.params)->install(*p);
+    }
+    auto probe =
+        rt::make_probe(spec.probe, *p, spec.probe_params, opt_.scale);
+    p->boot();
+    apply_shield(spec, *p, *probe);
+    probe->start();
+
+    sim::Duration horizon;
+    if (spec.duration.fixed_ns > 0) {
+      horizon = static_cast<sim::Duration>(
+          static_cast<double>(spec.duration.fixed_ns) * opt_.scale);
+    } else {
+      horizon = static_cast<sim::Duration>(
+                    static_cast<double>(probe->base_duration()) *
+                    spec.duration.factor) +
+                spec.duration.margin_ns;
+    }
+    if (horizon <= 0) {
+      throw std::runtime_error("scenario '" + spec.name +
+                               "': computed horizon is zero");
+    }
+
+    std::unique_ptr<fault::Injector> injector;
+    if (!spec.faults.empty()) {
+      injector = std::make_unique<fault::Injector>(*p, spec.faults, seed);
+      injector->arm(p->engine().now() + horizon);
+    }
+    // The sampler must be arena-resident (unlike run_uncached's stack
+    // instance): a mid-run restore has to rewind its timeline too.
+    std::unique_ptr<telemetry::Sampler> sampler;
+    if (spec.telemetry.sampler) {
+      sampler = std::make_unique<telemetry::Sampler>(p->engine(),
+                                                     p->engine().telemetry());
+      sampler->start(spec.telemetry.sample_period_ns);
+    }
+
+    const sim::Time run_start = p->engine().now();
+
+    // Mirrors run_uncached's extraction order exactly (latency report at
+    // the finished-hook point, then the result, then sampler shutdown).
+    const auto extract = [&]() {
+      const std::string latency = kernel::latency_report_json(p->kernel(), {});
+      ScenarioResult r;
+      r.name = spec.name;
+      r.digest = spec.digest();
+      r.seed = seed;
+      r.scale = opt_.scale;
+      r.probe = probe->result();
+      r.events = p->engine().events_executed();
+      r.duration_ns = static_cast<std::uint64_t>(p->engine().now() - run_start);
+      if (sampler) {
+        sampler->stop();
+        Value t = Value::object();
+        t.set("schema", "telemetry-v1");
+        t.set("counters", telemetry_counters_json(p->engine().telemetry()));
+        t.set("timeline", telemetry_timeline_json(*sampler));
+        r.telemetry = std::move(t);
+      }
+      return r.to_json().dump(2) + "\n" + latency;
+    };
+
+    // Replicate run_to_horizon's slicing bit-for-bit: the stop time of a
+    // sample-bound run is "first slice boundary at which the probe is
+    // done", so this replica must walk the same boundary sequence
+    // (t0 + k*slice) or its outputs would cover a different window than
+    // the baseline's. Pausing at a boundary to take the snapshot does not
+    // perturb the event stream — run_until(a); run_until(b) executes the
+    // same events as run_until(b).
+    const bool sample_bound = !opt_.full_horizon &&
+                              spec.duration.fixed_ns == 0 &&
+                              probe->base_duration() > 0;
+    const auto slice =
+        sample_bound
+            ? std::max<sim::Duration>(1, probe->base_duration() / 64)
+            : std::max<sim::Duration>(1, horizon / 64);
+    const sim::Time t0 = p->engine().now();
+    const sim::Time end = t0 + horizon;
+    const auto run_span = [&](sim::Time until) {
+      while (p->engine().now() < until) {
+        if (sample_bound && probe->done()) break;
+        p->run_until(std::min<sim::Time>(until, p->engine().now() + slice));
+      }
+    };
+
+    // Snapshot at the boundary nearest mid-run (the 32nd slice), clamped
+    // to the horizon for degenerate slicings.
+    const sim::Time mid = std::min<sim::Time>(
+        end, t0 + static_cast<sim::Time>(32) * static_cast<sim::Time>(slice));
+    run_span(mid);
+    const sim::Snapshot snap = sim::Snapshot::capture(*arena);
+    out.snapshot_bytes = snap.bytes();
+
+    run_span(end);
+    {
+      const std::string blob = extract();
+      scope.pause();
+      out.continued.assign(blob.data(), blob.size());
+      scope.resume();
+    }
+
+    snap.restore(*arena);
+    run_span(end);
+    {
+      const std::string blob = extract();
+      scope.pause();
+      out.resumed.assign(blob.data(), blob.size());
+      scope.resume();
+    }
+
+    snap.restore(*arena);  // destruct against the coherent checkpoint graph
+    sampler.reset();
+    injector.reset();
+    probe.reset();
+    delete p;
+  }
+
+  out.identical =
+      out.baseline == out.continued && out.baseline == out.resumed;
+  return out;
 }
 
 RunOutcome ScenarioRunner::run_outcome(const ScenarioSpec& spec,
@@ -560,28 +1026,103 @@ RunOutcome ScenarioRunner::run_outcome(const ScenarioSpec& spec,
     }
     // Reseed deterministically off the original seed, not the failed one,
     // so retry N of a spec is the same run no matter how earlier attempts
-    // interleaved across worker threads.
-    attempt_seed = sim::derive_seed(seed, "retry#" + std::to_string(attempt));
+    // interleaved across worker threads. The retry domain keeps these
+    // streams disjoint from batch names and fork labels (a spec literally
+    // named "retry#1" must not share a stream with anyone's first retry).
+    attempt_seed = sim::derive_seed(seed, sim::SeedDomain::kRetry,
+                                    "retry#" + std::to_string(attempt));
   }
   return out;
 }
 
+namespace {
+
+/// With prefix sharing on, same-prefix specs should land on the same
+/// worker: the group's first run builds the snapshot and the rest fork it
+/// without ever contending on the entry lock. Returns batch indices
+/// grouped by prefix key (group order follows first appearance, so a
+/// prefix-sorted registry keeps its familiar execution order).
+std::vector<std::vector<std::size_t>> group_by_prefix(
+    const std::vector<ScenarioSpec>& specs) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string key = prefix_key(specs[i]);
+    const auto [it, inserted] = index.emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
 BatchReport ScenarioRunner::run_batch_report(
     const std::vector<ScenarioSpec>& specs, std::uint64_t root_seed) {
   BatchReport report;
+  const auto seed_of = [&](std::size_t i) {
+    return sim::derive_seed(root_seed, sim::SeedDomain::kBatch,
+                            specs[i].name);
+  };
+  const std::uint64_t hits0 = prefix_hits_.load();
+  const std::uint64_t misses0 = prefix_misses_.load();
   // run_outcome never throws, so one hostile spec cannot sink the batch the
   // way run_batch's first-exception-wins rethrow does.
-  report.outcomes = sweep_.map<RunOutcome>(specs.size(), [&](std::size_t i) {
-    return run_outcome(specs[i], sim::derive_seed(root_seed, specs[i].name));
-  });
+  if (opt_.prefix_reuse) {
+    const auto groups = group_by_prefix(specs);
+    const auto per_group = sweep_.map<std::vector<RunOutcome>>(
+        groups.size(), [&](std::size_t g) {
+          std::vector<RunOutcome> outs;
+          outs.reserve(groups[g].size());
+          for (const std::size_t i : groups[g]) {
+            outs.push_back(run_outcome(specs[i], seed_of(i)));
+          }
+          return outs;
+        });
+    report.outcomes.resize(specs.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (std::size_t k = 0; k < groups[g].size(); ++k) {
+        report.outcomes[groups[g][k]] = std::move(per_group[g][k]);
+      }
+    }
+  } else {
+    report.outcomes = sweep_.map<RunOutcome>(specs.size(), [&](std::size_t i) {
+      return run_outcome(specs[i], seed_of(i));
+    });
+  }
   report.cache_entries_recomputed = cache_recomputed_.load();
+  report.prefix_hits = prefix_hits_.load() - hits0;
+  report.prefix_misses = prefix_misses_.load() - misses0;
   return report;
 }
 
 std::vector<ScenarioResult> ScenarioRunner::run_batch(
     const std::vector<ScenarioSpec>& specs, std::uint64_t root_seed) {
+  const auto seed_of = [&](std::size_t i) {
+    return sim::derive_seed(root_seed, sim::SeedDomain::kBatch,
+                            specs[i].name);
+  };
+  if (opt_.prefix_reuse) {
+    const auto groups = group_by_prefix(specs);
+    const auto per_group = sweep_.map<std::vector<ScenarioResult>>(
+        groups.size(), [&](std::size_t g) {
+          std::vector<ScenarioResult> outs;
+          outs.reserve(groups[g].size());
+          for (const std::size_t i : groups[g]) {
+            outs.push_back(run(specs[i], seed_of(i)));
+          }
+          return outs;
+        });
+    std::vector<ScenarioResult> results(specs.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (std::size_t k = 0; k < groups[g].size(); ++k) {
+        results[groups[g][k]] = std::move(per_group[g][k]);
+      }
+    }
+    return results;
+  }
   return sweep_.map<ScenarioResult>(specs.size(), [&](std::size_t i) {
-    return run(specs[i], sim::derive_seed(root_seed, specs[i].name));
+    return run(specs[i], seed_of(i));
   });
 }
 
@@ -590,8 +1131,9 @@ std::vector<ScenarioResult> ScenarioRunner::run_seeds(const ScenarioSpec& spec,
                                                       int repeats) {
   const auto n = static_cast<std::size_t>(repeats < 0 ? 0 : repeats);
   return sweep_.map<ScenarioResult>(n, [&](std::size_t i) {
-    return run(spec, sim::derive_seed(root_seed,
-                                      spec.name + "#" + std::to_string(i)));
+    return run(spec,
+               sim::derive_seed(root_seed, sim::SeedDomain::kFanout,
+                                spec.name + "#" + std::to_string(i)));
   });
 }
 

@@ -36,6 +36,11 @@ struct ScenarioResult {
   double scale = 1.0;
   rt::ProbeResult probe;
   std::uint64_t events = 0;  ///< simulator events executed
+  /// Simulated time actually executed for the measurement window. For
+  /// fixed-duration specs this equals the scaled horizon; for sample-bound
+  /// specs it is where the run stopped once the probe banked its budget
+  /// (the horizon is an upper bound, not a target — see run_to_horizon).
+  std::uint64_t duration_ns = 0;
   /// Telemetry document ({counters, timeline}) when the spec opted into the
   /// sampler; null otherwise and then absent from the serialized form, so
   /// telemetry-free results are byte-identical to pre-telemetry ones.
@@ -121,6 +126,10 @@ struct BatchReport {
   /// Disk-cache entries that failed integrity checks and were quarantined
   /// and recomputed during this runner's lifetime.
   std::uint64_t cache_entries_recomputed = 0;
+  /// Prefix snapshot reuse during this batch (zero/zero when the runner has
+  /// prefix_reuse off): a hit forked a warmed prefix, a miss simulated one.
+  std::uint64_t prefix_hits = 0;
+  std::uint64_t prefix_misses = 0;
 
   [[nodiscard]] bool all_ok() const;
   [[nodiscard]] std::size_t count(RunStatus s) const;
@@ -151,6 +160,23 @@ class ScenarioRunner {
     /// Attempts for specs flagged `transient` (reseeded per retry); specs
     /// not flagged always get exactly one attempt.
     int max_attempts = 2;
+    /// Share simulated prefixes across scenarios: specs whose (machine,
+    /// kernel, workloads) agree fork one warmed-up snapshot from a bounded
+    /// in-memory LRU instead of each building and booting a platform. A
+    /// forked run is bit-reproducible (same spec + seed → same result) but
+    /// numerically different from a cold run of the same spec — the child's
+    /// streams derive from a fork label — so cached results carry a fork
+    /// marker in their key. Off by default; `shieldctl run` turns it on.
+    bool prefix_reuse = false;
+    /// Bound on distinct warmed prefixes kept resident (LRU beyond it).
+    std::size_t prefix_cache_entries = 8;
+    /// Diagnostic escape hatch: always simulate the entire horizon even
+    /// after a sample-bound probe has banked its budget (the pre-stop
+    /// semantics). The probe result is identical either way — probes
+    /// freeze and exit at their budget — but the kernel latency report and
+    /// telemetry timeline then cover the full slack window. Results run
+    /// this way keep the legacy cache-key form.
+    bool full_horizon = false;
   };
 
   /// Observation points for runs that need more than the cacheable result
@@ -165,8 +191,34 @@ class ScenarioRunner {
 
   ScenarioRunner() : ScenarioRunner(Options{}) {}
   explicit ScenarioRunner(Options opt);
+  ~ScenarioRunner();
 
   [[nodiscard]] const Options& options() const { return opt_; }
+
+  /// Prefix snapshot reuse counters (see Options::prefix_reuse).
+  struct PrefixStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] PrefixStats prefix_stats() const {
+    return {prefix_hits_.load(), prefix_misses_.load()};
+  }
+
+  /// Verification harness for the snapshot layer: run `spec` three ways —
+  /// an ordinary uninterrupted run, an arena-hosted run snapshotted at
+  /// mid-horizon and continued, and a restore of that snapshot replayed to
+  /// the horizon — and return each run's full serialized output (scenario
+  /// result + kernel latency report). `identical` means all three are
+  /// byte-for-byte equal, which is the soundness gate for fork reuse.
+  struct SnapshotCheck {
+    bool identical = false;
+    std::size_t snapshot_bytes = 0;
+    std::string baseline;
+    std::string continued;
+    std::string resumed;
+  };
+  SnapshotCheck snapshot_bit_identity(const ScenarioSpec& spec,
+                                      std::uint64_t seed);
 
   /// Run one scenario at one seed, synchronously in this thread.
   ScenarioResult run(const ScenarioSpec& spec, std::uint64_t seed,
@@ -200,12 +252,15 @@ class ScenarioRunner {
   }
 
  private:
+  class PrefixCache;
+
   ScenarioResult run_uncached(const ScenarioSpec& spec, std::uint64_t seed,
                               const Hooks& hooks);
+  ScenarioResult run_forked(const ScenarioSpec& spec, std::uint64_t seed);
   void run_to_horizon(const ScenarioSpec& spec, Platform& p,
-                      sim::Duration horizon) const;
+                      sim::Duration horizon, const rt::Probe& probe) const;
   [[nodiscard]] std::string cache_key(const std::string& digest,
-                                      std::uint64_t seed) const;
+                                      std::uint64_t seed, bool forked) const;
   [[nodiscard]] std::string cache_path(const std::string& key) const;
 
   Options opt_;
@@ -213,6 +268,9 @@ class ScenarioRunner {
   std::mutex cache_mutex_;
   std::map<std::string, ScenarioResult> memory_cache_;
   std::atomic<std::uint64_t> cache_recomputed_{0};
+  std::unique_ptr<PrefixCache> prefix_cache_;
+  std::atomic<std::uint64_t> prefix_hits_{0};
+  std::atomic<std::uint64_t> prefix_misses_{0};
 };
 
 /// Expand a parameter grid over a base spec: `grid` is a JSON object

@@ -668,6 +668,11 @@ void Kernel::reset_latency_counters() {
   auditor_.reset();
   ic_.reset_counters();
   engine_.telemetry().reset();
+  // Observability residue from the first window: chain-tracer statistics
+  // and the post-mortem ring would otherwise leak warmup events into the
+  // second window's exports and flight dumps.
+  engine_.chain_tracer().reset_stats();
+  engine_.flight_recorder().clear();
 }
 
 // ---- procfs ---------------------------------------------------------------------------

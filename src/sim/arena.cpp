@@ -1,0 +1,387 @@
+#include "sim/arena.h"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+
+#include "sim/assert.h"
+
+// ASan tracks a shadow poison state per byte. It never sees arena
+// allocations (we bypass its malloc), but libstdc++ *container annotations*
+// still poison the unused capacity tail of vectors/strings living in arena
+// memory. Reusing a freed block or rewinding the cursor would then trip
+// container-overflow reports on memory that is logically fresh, so every
+// hand-out and every rewind explicitly unpoisons the affected range.
+#if defined(__SANITIZE_ADDRESS__)
+#define SHIELDSIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SHIELDSIM_ASAN 1
+#endif
+#endif
+#ifdef SHIELDSIM_ASAN
+extern "C" void __asan_unpoison_memory_region(const volatile void*,
+                                              std::size_t);
+#define SHIELDSIM_UNPOISON(p, n) \
+  __asan_unpoison_memory_region((p), (n))
+#else
+#define SHIELDSIM_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace sim {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::uint32_t kBlockMagic = 0x5a3eb10cu;
+constexpr std::uint32_t kClassNone = 0xffffffffu;  // bump-only, not reused
+
+constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+// Live-arena registry so `operator delete` can route a pointer back to the
+// arena that owns it even when that arena is not active on this thread
+// (results copied out of an arena keep no arena pointers, but unwinding
+// destructors legitimately free arena blocks after a Scope closed).
+// Constant-initialized — operator new/delete may run before any dynamic
+// initializer.
+constexpr std::size_t kMaxArenas = 64;
+struct RegionSlot {
+  std::atomic<const std::byte*> base{nullptr};
+  std::atomic<std::size_t> size{0};
+  std::atomic<StateArena*> arena{nullptr};
+};
+constinit RegionSlot g_regions[kMaxArenas];
+constinit std::atomic<std::size_t> g_region_high{0};
+
+constinit thread_local StateArena* tl_active = nullptr;
+
+std::mutex& registry_mutex() {
+  static std::mutex m;  // touched only from StateArena ctor/dtor (malloc ok)
+  return m;
+}
+
+}  // namespace
+
+struct StateArena::BlockHeader {
+  std::uint64_t payload;  // rounded payload bytes actually reserved
+  std::uint32_t magic;
+  std::uint32_t cls;  // size-class index, or kClassNone
+  static_assert(sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t) ==
+                kHeaderBytes);
+};
+
+StateArena::StateArena(std::size_t reserve_bytes) {
+  reserve_ = align_up(reserve_bytes, std::size_t{1} << 12);
+  void* p = ::mmap(nullptr, reserve_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc{};
+  base_ = static_cast<std::byte*>(p);
+  std::lock_guard<std::mutex> lk(registry_mutex());
+  for (std::size_t i = 0; i < kMaxArenas; ++i) {
+    if (g_regions[i].arena.load(std::memory_order_relaxed) == nullptr &&
+        g_regions[i].base.load(std::memory_order_relaxed) == nullptr) {
+      g_regions[i].base.store(base_, std::memory_order_relaxed);
+      g_regions[i].size.store(reserve_, std::memory_order_relaxed);
+      g_regions[i].arena.store(this, std::memory_order_release);
+      std::size_t high = g_region_high.load(std::memory_order_relaxed);
+      while (high < i + 1 &&
+             !g_region_high.compare_exchange_weak(high, i + 1)) {
+      }
+      return;
+    }
+  }
+  ::munmap(base_, reserve_);
+  throw std::bad_alloc{};  // more live arenas than kMaxArenas
+}
+
+StateArena::~StateArena() {
+  {
+    std::lock_guard<std::mutex> lk(registry_mutex());
+    for (std::size_t i = 0; i < kMaxArenas; ++i) {
+      if (g_regions[i].arena.load(std::memory_order_relaxed) == this) {
+        g_regions[i].arena.store(nullptr, std::memory_order_relaxed);
+        g_regions[i].base.store(nullptr, std::memory_order_release);
+        g_regions[i].size.store(0, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  ::munmap(base_, reserve_);
+}
+
+StateArena* StateArena::current() { return tl_active; }
+
+StateArena::Scope::Scope(StateArena& arena)
+    : arena_(&arena), prev_(tl_active), active_(true) {
+  tl_active = arena_;
+}
+
+StateArena::Scope::~Scope() {
+  if (active_) tl_active = prev_;
+}
+
+void StateArena::Scope::pause() {
+  if (active_) {
+    tl_active = prev_;
+    active_ = false;
+  }
+}
+
+void StateArena::Scope::resume() {
+  if (!active_) {
+    tl_active = arena_;
+    active_ = true;
+  }
+}
+
+void* StateArena::allocate(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  if (align < kHeaderBytes) align = kHeaderBytes;
+  if (align == kHeaderBytes && size <= kMaxClassBytes) {
+    std::size_t cls = 0;
+    while ((std::size_t{16} << cls) < size) ++cls;
+    if (void* head = free_heads_[cls]) {
+      free_heads_[cls] = *static_cast<void**>(head);
+      auto* h = reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(head) -
+                                               kHeaderBytes);
+      SIM_ASSERT_MSG(h->magic == kBlockMagic && h->cls == cls,
+                     "arena freelist corruption");
+      ++live_blocks_;
+      SHIELDSIM_UNPOISON(head, h->payload);
+      return head;
+    }
+    return bump_allocate(std::size_t{16} << cls, kHeaderBytes);
+  }
+  return bump_allocate(align_up(size, kHeaderBytes), align);
+}
+
+void* StateArena::bump_allocate(std::size_t payload, std::size_t align) {
+  std::size_t p = align_up(bump_ + kHeaderBytes, align);
+  std::size_t end = p + payload;
+  if (end > reserve_) throw std::bad_alloc{};
+  auto* h = reinterpret_cast<BlockHeader*>(base_ + p - kHeaderBytes);
+  SHIELDSIM_UNPOISON(h, kHeaderBytes + payload);
+  h->payload = payload;
+  h->magic = kBlockMagic;
+  h->cls = kClassNone;
+  if (align == kHeaderBytes && payload <= kMaxClassBytes) {
+    std::uint32_t cls = 0;
+    while ((std::size_t{16} << cls) < payload) ++cls;
+    h->cls = cls;
+  }
+  bump_ = end;
+  if (bump_ > high_water_) high_water_ = bump_;
+  ++live_blocks_;
+  return base_ + p;
+}
+
+void StateArena::deallocate(void* p) {
+  auto* h = reinterpret_cast<BlockHeader*>(static_cast<std::byte*>(p) -
+                                           kHeaderBytes);
+  SIM_ASSERT((h->magic == kBlockMagic) && "arena free of foreign pointer");
+  --live_blocks_;
+  if (h->cls == kClassNone) return;  // large/over-aligned: reclaimed at rewind
+  *static_cast<void**>(p) = free_heads_[h->cls];
+  free_heads_[h->cls] = p;
+}
+
+bool StateArena::deallocate_routed(void* p) {
+  std::size_t high = g_region_high.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < high; ++i) {
+    const std::byte* base = g_regions[i].base.load(std::memory_order_acquire);
+    if (base == nullptr) continue;
+    std::size_t size = g_regions[i].size.load(std::memory_order_relaxed);
+    if (static_cast<const std::byte*>(p) >= base &&
+        static_cast<const std::byte*>(p) < base + size) {
+      StateArena* a = g_regions[i].arena.load(std::memory_order_acquire);
+      SIM_ASSERT((a != nullptr) && "free into dead arena region");
+      a->deallocate(p);
+      return true;
+    }
+  }
+  return false;
+}
+
+StateArena::Mark StateArena::mark() const {
+  Mark m;
+  m.bump = bump_;
+  m.free_heads = free_heads_;
+  return m;
+}
+
+void StateArena::restore_mark(const Mark& m) {
+  SIM_ASSERT((m.bump <= reserve_) && "mark beyond arena reserve");
+  bump_ = m.bump;
+  free_heads_ = m.free_heads;
+  // Shadow state accumulated by container annotations no longer matches
+  // the restored bytes anywhere in the previously-touched range.
+  SHIELDSIM_UNPOISON(base_, high_water_);
+}
+
+void StateArena::reset() {
+  bump_ = 0;
+  live_blocks_ = 0;
+  free_heads_.fill(nullptr);
+  SHIELDSIM_UNPOISON(base_, high_water_);
+}
+
+// ---------------------------------------------------------------------------
+// Arena pool: mappings stay alive for the whole process so that any pointer
+// ever handed out (notably ones cached by function-local statics) keeps
+// pointing at mapped memory. Fixed-size storage — pool operations must not
+// themselves allocate through operator new while a caller's arena is active.
+
+namespace {
+constexpr std::size_t kMaxPool = 64;
+constinit StateArena* g_pool[kMaxPool];
+constinit std::size_t g_pool_count = 0;
+std::mutex& pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+StateArena* StateArena::acquire_pooled() {
+  StateArena* saved = tl_active;
+  tl_active = nullptr;  // pool bookkeeping + arena construction use malloc
+  StateArena* out = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(pool_mutex());
+    if (g_pool_count > 0) out = g_pool[--g_pool_count];
+  }
+  if (out == nullptr) {
+    // Placement-new into malloc'd storage rather than plain `new`: pooled
+    // arenas are never deleted (their mappings outlive the process), and
+    // the plain form makes GCC pair the emitted exception-cleanup delete
+    // with this TU's free-based operator delete and reject the build
+    // under -Werror=mismatched-new-delete.
+    void* raw = std::malloc(sizeof(StateArena));
+    if (raw == nullptr) throw std::bad_alloc{};
+    out = ::new (raw) StateArena();
+  }
+  tl_active = saved;
+  return out;
+}
+
+void StateArena::release_pooled(StateArena* arena) {
+  if (arena == nullptr) return;
+  arena->reset();
+  std::lock_guard<std::mutex> lk(pool_mutex());
+  if (g_pool_count < kMaxPool) {
+    g_pool[g_pool_count++] = arena;
+    return;
+  }
+  // Pool full: intentionally keep the mapping alive (see class contract)
+  // but forget the object. In practice the pool never fills.
+}
+
+}  // namespace sim
+
+// ---------------------------------------------------------------------------
+// Global allocation routing. While a StateArena is active on the calling
+// thread every operator new is served from it; otherwise this is a plain
+// malloc passthrough (which under ASan is the intercepted, redzoned
+// malloc). operator delete routes by address range, so arena blocks find
+// their way home from any thread and any activation state.
+
+namespace {
+
+void* route_allocate(std::size_t size, std::size_t align) {
+  if (sim::StateArena* a = sim::tl_active) return a->allocate(size, align);
+  if (align > alignof(std::max_align_t)) {
+    void* p = nullptr;
+    if (::posix_memalign(&p, align, size == 0 ? align : size) != 0)
+      return nullptr;
+    return p;
+  }
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void route_free(void* p) {
+  if (p == nullptr) return;
+  if (sim::StateArena::deallocate_routed(p)) return;
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = route_allocate(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = route_allocate(size, alignof(std::max_align_t));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = route_allocate(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = route_allocate(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return route_allocate(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return route_allocate(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return route_allocate(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return route_allocate(size, static_cast<std::size_t>(align));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { route_free(p); }
+void operator delete[](void* p) noexcept { route_free(p); }
+void operator delete(void* p, std::size_t) noexcept { route_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { route_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { route_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { route_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  route_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  route_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  route_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  route_free(p);
+}

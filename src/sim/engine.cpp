@@ -12,8 +12,9 @@ EventId Engine::schedule_at(Time at, EventQueue::Callback cb) {
 }
 
 void Engine::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    auto [at, cb] = queue_.pop();
+  Time at = 0;
+  EventQueue::Callback cb;
+  while (queue_.pop_before(deadline, at, cb)) {
     SIM_ASSERT(at >= now_);
     now_ = at;
     ++events_executed_;

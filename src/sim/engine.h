@@ -56,6 +56,13 @@ class Engine {
   /// construction to obtain an independent stream.
   Rng& rng() { return rng_; }
 
+  /// Replace the root RNG stream. Used by the snapshot fork path: after a
+  /// restore, reseeding with a fork-label-derived seed makes every stream
+  /// subsequently split from the root diverge deterministically between
+  /// siblings, while streams split before the snapshot continue their
+  /// checkpointed sequences unchanged.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
   /// Event trace for debugging and test assertions.
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }

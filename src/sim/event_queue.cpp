@@ -232,6 +232,31 @@ std::pair<Time, EventQueue::Callback> EventQueue::pop() {
   return out;
 }
 
+bool EventQueue::pop_before(Time deadline, Time& at, Callback& cb) {
+  if (empty()) return false;
+  refresh_near();
+  Key k;
+  const bool from_ready =
+      ready_head_ < ready_.size() &&
+      (near_.empty() || key_before(ready_[ready_head_], near_.front()));
+  if (from_ready) {
+    k = ready_[ready_head_];
+    if (k.at > deadline) return false;
+    ++ready_head_;
+  } else {
+    k = near_.front();
+    if (k.at > deadline) return false;
+    std::pop_heap(near_.begin(), near_.end(), KeyAfter{});
+    near_.pop_back();
+  }
+  Slot& s = slots_[k.slot];
+  at = s.at;
+  cb = std::move(s.cb);
+  --live_;
+  release_slot(k.slot);
+  return true;
+}
+
 void EventQueue::maybe_compact() {
   if (dead_ > 64 && dead_ > live_) compact();
 }

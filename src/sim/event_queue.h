@@ -81,6 +81,13 @@ class EventQueue {
   /// Pop and return the next live event. Requires !empty().
   std::pair<Time, Callback> pop();
 
+  /// Pop the next live event only if it fires at or before `deadline`;
+  /// false (and no state change beyond tombstone reclamation) otherwise or
+  /// when the queue is empty. One lane refresh + one front comparison per
+  /// event where next_time() + pop() would do both twice — the engine's
+  /// run_until hot path.
+  bool pop_before(Time deadline, Time& at, Callback& cb);
+
   /// Number of event slots ever allocated (live + tombstoned + free).
   /// Exposed so tests can assert cancel-heavy runs stay memory-bounded.
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }

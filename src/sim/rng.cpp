@@ -18,14 +18,26 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
-std::uint64_t derive_seed(std::uint64_t root, std::string_view label) {
+std::uint64_t derive_seed(std::uint64_t root, SeedDomain domain,
+                          std::string_view label) {
   std::uint64_t h = 14695981039346656037ull;  // FNV-1a over the label
+  if (domain != SeedDomain::kGeneric) {
+    // Fold the domain tag in as a virtual prefix "byte" that no label
+    // character can reproduce (labels feed the hash one octet at a time;
+    // this mixes a full 64-bit constant per domain).
+    h ^= 0x9e6c63d0a1b2c3d4ull + static_cast<std::uint64_t>(domain);
+    h *= 1099511628211ull;
+  }
   for (const char c : label) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
   std::uint64_t x = root ^ h;
   return splitmix64(x);
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view label) {
+  return derive_seed(root, SeedDomain::kGeneric, label);
 }
 
 Rng::Rng(std::uint64_t seed) {

@@ -15,13 +15,32 @@
 
 namespace sim {
 
+/// Seed-derivation namespaces. Labels are free-form strings chosen by
+/// callers, so two different derivation purposes could otherwise collide on
+/// the same (root, label) pair: a batch spec literally named "retry#1"
+/// would share its stream with the first retry of an unnamed spec, and a
+/// spec named "foo#0" with fan-out run 0 of a spec named "foo". The domain
+/// is folded into the hash *before* the label, so equal labels in
+/// different domains provably yield unrelated streams.
+enum class SeedDomain : std::uint64_t {
+  kGeneric = 0,  // default; byte-compatible with the two-argument overload
+  kBatch = 1,    // per-spec seeds inside a batch (label = spec name)
+  kRetry = 2,    // transient-failure retries (label = "retry#N")
+  kFanout = 3,   // run_seeds replicates (label = "name#i")
+  kFork = 4,     // snapshot-fork children (label = spec digest + seed)
+};
+
 /// Derive a case seed from a root seed and a stable case label.
 ///
 /// SplitMix64-style: the label is FNV-1a hashed, folded into the root, and
 /// passed through the SplitMix64 finalizer. Because the result depends only
-/// on (root, label) — not on enumeration order — inserting, removing, or
-/// reordering cases in a sweep never reshuffles the RNG streams of the
-/// other cases (unlike the old `root + index` convention).
+/// on (root, domain, label) — not on enumeration order — inserting,
+/// removing, or reordering cases in a sweep never reshuffles the RNG
+/// streams of the other cases (unlike the old `root + index` convention).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root, SeedDomain domain,
+                                        std::string_view label);
+
+/// Two-argument form: SeedDomain::kGeneric.
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t root,
                                         std::string_view label);
 

@@ -1,0 +1,41 @@
+#include "sim/snapshot.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "sim/assert.h"
+
+namespace sim {
+
+void Snapshot::FreeDeleter::operator()(std::byte* p) const { std::free(p); }
+
+Snapshot Snapshot::capture(const StateArena& arena) {
+  Snapshot s;
+  s.mark_ = arena.mark();
+  s.size_ = s.mark_.bump;
+  if (s.size_ > 0) {
+    auto* buf = static_cast<std::byte*>(std::malloc(s.size_));
+    if (buf == nullptr) throw std::bad_alloc{};
+    std::memcpy(buf, arena.base(), s.size_);
+    s.data_.reset(buf);
+  } else {
+    // Distinguish "captured an empty arena" from "never captured".
+    auto* buf = static_cast<std::byte*>(std::malloc(1));
+    if (buf == nullptr) throw std::bad_alloc{};
+    s.data_.reset(buf);
+  }
+  return s;
+}
+
+void Snapshot::restore(StateArena& arena) const {
+  SIM_ASSERT((valid()) && "restore from empty snapshot");
+  // restore_mark first: it unpoisons the touched range, which must happen
+  // before memcpy writes into memory ASan may still consider poisoned.
+  arena.restore_mark(mark_);
+  if (size_ > 0) {
+    std::memcpy(const_cast<std::byte*>(arena.base()), data_.get(), size_);
+  }
+}
+
+}  // namespace sim

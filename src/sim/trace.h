@@ -183,6 +183,16 @@ class ChainTracer {
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::size_t live() const { return live_; }
 
+  /// Zero the opened/completed/abandoned/dropped statistics. Chains in
+  /// flight are untouched — they are control state, and closing them later
+  /// counts toward the new window.
+  void reset_stats() {
+    opened_ = 0;
+    completed_ = 0;
+    abandoned_ = 0;
+    dropped_ = 0;
+  }
+
  private:
   struct Chain {
     std::uint32_t gen = 1;
@@ -223,6 +233,7 @@ class ChainTracer {
   [[nodiscard]] std::uint64_t abandoned() const { return 0; }
   [[nodiscard]] std::uint64_t dropped() const { return 0; }
   [[nodiscard]] std::size_t live() const { return 0; }
+  void reset_stats() {}
 #endif
 };
 

@@ -20,7 +20,11 @@ const char* to_string(EventKind k) {
 
 void FlightRecorder::enable(std::size_t capacity) {
   if (capacity == 0) capacity = 1;
-  if (capacity != ring_.size()) {
+  // A fresh recording session (disabled -> enabled) always starts from an
+  // empty ring: re-enabling at the same capacity must not resurface the
+  // previous session's entries in the next dump. Only a redundant enable()
+  // while already recording is a no-op.
+  if (capacity != ring_.size() || !enabled_) {
     ring_.assign(capacity, Entry{});
     head_ = 0;
     recorded_ = 0;

@@ -39,8 +39,9 @@ class FlightRecorder {
     std::int32_t b = 0;
   };
 
-  /// Start recording into a ring of `capacity` entries. Re-enabling with a
-  /// different capacity clears the ring.
+  /// Start recording into a ring of `capacity` entries. Starting a fresh
+  /// session (from disabled, or with a different capacity) clears the ring;
+  /// a redundant enable() while already recording keeps it.
   void enable(std::size_t capacity);
   void disable() { enabled_ = false; }
   [[nodiscard]] bool enabled() const { return enabled_; }

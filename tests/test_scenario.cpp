@@ -42,10 +42,79 @@ TEST(ScenarioSpec, DigestChangesWithContent) {
   auto b = a;
   b.probe_params.set("samples", 12345);
   EXPECT_NE(a.digest(), b.digest());
-  // But the digest ignores nothing: even a title change is a new spec.
+  // Presentation-only fields are digest-neutral: retitling a spec must not
+  // invalidate cached results whose simulated content is unchanged.
   auto c = a;
   c.title += " (edited)";
-  EXPECT_NE(a.digest(), c.digest());
+  c.description += " (edited)";
+  c.group = "elsewhere";
+  c.paper_ref = "reworded";
+  EXPECT_EQ(a.digest(), c.digest());
+  // `transient` only governs the runner's retry policy, never the
+  // simulation a fixed (spec, seed) attempt performs.
+  auto t = a;
+  t.transient = !t.transient;
+  EXPECT_EQ(a.digest(), t.digest());
+}
+
+TEST(ScenarioSpec, DigestCoversExactlyTheBehaviorAffectingFields) {
+  // The cache-soundness contract, field by field: any mutation that can
+  // change what a run produces must change the digest; any mutation that
+  // cannot must leave it alone. A behavior field missing from the digest
+  // means the cache serves stale results; a presentation field included
+  // means retitling invalidates good ones.
+  const auto base = spec_of("fig6");
+  const auto mutated_digest = [&](auto&& mutate) {
+    auto s = base;
+    mutate(s);
+    return s.digest();
+  };
+
+  using Spec = config::ScenarioSpec;
+  // name appears in the serialized result, so it is (correctly) content.
+  EXPECT_NE(base.digest(),
+            mutated_digest([](Spec& s) { s.name += "-renamed"; }));
+  EXPECT_NE(base.digest(),
+            mutated_digest([](Spec& s) { s.machine = "dual-p4-1400"; }));
+  EXPECT_NE(base.digest(),
+            mutated_digest([](Spec& s) { s.kernel = "vanilla-2.4.20"; }));
+  EXPECT_NE(base.digest(), mutated_digest([](Spec& s) {
+              s.kernel_overrides.set("preempt_kernel", true);
+            }));
+  EXPECT_NE(base.digest(),
+            mutated_digest([](Spec& s) { s.ht_override = false; }));
+  EXPECT_NE(base.digest(),
+            mutated_digest([](Spec& s) { s.workloads.pop_back(); }));
+  EXPECT_NE(base.digest(),
+            mutated_digest([](Spec& s) { s.probe = "cyclictest"; }));
+  EXPECT_NE(base.digest(), mutated_digest([](Spec& s) {
+              s.probe_params.set("samples", 999);
+            }));
+  EXPECT_NE(base.digest(),
+            mutated_digest([](Spec& s) { s.shield = config::ShieldPlan{}; }));
+  EXPECT_NE(base.digest(), mutated_digest([](Spec& s) {
+              s.duration.fixed_ns = 123456789;
+            }));
+  EXPECT_NE(base.digest(), mutated_digest([](Spec& s) {
+              fault::FaultSpec f;
+              f.kind = fault::FaultKind::kIrqStorm;
+              f.rate_hz = 100.0;
+              s.faults.faults.push_back(f);
+            }));
+  EXPECT_NE(base.digest(), mutated_digest([](Spec& s) {
+              s.telemetry.sampler = true;
+            }));
+
+  // Presentation and policy-only fields: digest-neutral.
+  EXPECT_EQ(base.digest(),
+            mutated_digest([](Spec& s) { s.title = "reworded"; }));
+  EXPECT_EQ(base.digest(),
+            mutated_digest([](Spec& s) { s.description = "reworded"; }));
+  EXPECT_EQ(base.digest(), mutated_digest([](Spec& s) { s.group = "other"; }));
+  EXPECT_EQ(base.digest(),
+            mutated_digest([](Spec& s) { s.paper_ref = "reworded"; }));
+  EXPECT_EQ(base.digest(),
+            mutated_digest([](Spec& s) { s.transient = !s.transient; }));
 }
 
 TEST(ScenarioSpec, FromJsonRejectsUnknownKeys) {
@@ -215,7 +284,68 @@ TEST(ScenarioRunner, DiskCachePersistsAcrossRunners) {
     EXPECT_TRUE(r.from_cache);
     EXPECT_EQ(r.to_json().dump(), first);
   }
-  std::remove((dir + "/" + spec.digest() + "-5-0.005.json").c_str());
+  std::remove((dir + "/" + spec.digest() + "-5-0.005-es1.json").c_str());
+}
+
+TEST(ScenarioRunner, SampleBoundRunsStopOnceTheProbeBanksItsBudget) {
+  // DurationPolicy pads a sample-bound probe's nominal duration with
+  // factor + margin slack so abnormal runs still finish; the probe itself
+  // freezes and exits the moment its budget lands. The runner therefore
+  // treats the horizon as an upper bound: the run stops at the first
+  // done-check boundary past completion instead of simulating the slack.
+  const auto spec = spec_of("abl-shield-full");
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.005;
+  ro.cache = false;
+  config::ScenarioRunner early(ro);
+  auto fo = ro;
+  fo.full_horizon = true;
+  config::ScenarioRunner full(fo);
+
+  const auto a = early.run(spec, 2003);
+  const auto b = full.run(spec, 2003);
+  // The probe banked its full budget and its figures are identical to the
+  // full-horizon run's — the slack contributed nothing...
+  EXPECT_TRUE(a.probe.complete);
+  EXPECT_EQ(a.probe.collected, a.probe.expected);
+  EXPECT_EQ(a.to_json().find("probe")->dump(),
+            b.to_json().find("probe")->dump());
+  // ...but the early-stopped run simulated strictly less of it.
+  EXPECT_LT(a.duration_ns, b.duration_ns);
+  EXPECT_LT(a.events, b.events);
+
+  // The stop time derives from the probe's nominal duration, not the
+  // horizon, so duration-policy slack cannot shift it: padding the margin
+  // changes the digest but not one simulated byte of the run.
+  auto padded = spec;
+  padded.duration.margin_ns *= 3;
+  const auto c = early.run(padded, 2003);
+  EXPECT_EQ(c.events, a.events);
+  EXPECT_EQ(c.duration_ns, a.duration_ns);
+  EXPECT_EQ(c.to_json().find("probe")->dump(),
+            a.to_json().find("probe")->dump());
+}
+
+TEST(ScenarioRunner, FixedDurationRunsAlwaysCoverTheFullSpan) {
+  // Duration-bound specs (timeline probes, cyclictest figures) keep their
+  // exact pre-early-stop behavior: the scaled fixed horizon is simulated
+  // in full, and full_horizon mode is byte-identical to the default.
+  const auto spec = spec_of("timer-gap-10ms-jiffy");
+  ASSERT_GT(spec.duration.fixed_ns, 0);
+  config::ScenarioRunner::Options ro;
+  ro.scale = 0.01;
+  ro.cache = false;
+  config::ScenarioRunner early(ro);
+  auto fo = ro;
+  fo.full_horizon = true;
+  config::ScenarioRunner full(fo);
+
+  const auto a = early.run(spec, 2003);
+  const auto b = full.run(spec, 2003);
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+  EXPECT_EQ(a.duration_ns,
+            static_cast<std::uint64_t>(
+                static_cast<double>(spec.duration.fixed_ns) * ro.scale));
 }
 
 TEST(ScenarioRunner, HooksBypassTheCache) {
@@ -360,7 +490,8 @@ TEST(ScenarioRunner, TransientSpecRetriesWithDerivedSeedAndCanRecover) {
   auto s = spec_of("fig6");
   s.transient = true;
   const std::uint64_t seed = 77;
-  const auto retry_seed = sim::derive_seed(seed, "retry#1");
+  const auto retry_seed =
+      sim::derive_seed(seed, sim::SeedDomain::kRetry, "retry#1");
   config::ScenarioRunner::Options warm;
   warm.scale = 0.005;
   warm.cache_dir = dir;
@@ -380,6 +511,43 @@ TEST(ScenarioRunner, TransientSpecRetriesWithDerivedSeedAndCanRecover) {
   std::remove(
       (dir + "/" + s.digest() + "-" + std::to_string(retry_seed) + "-0.005.json")
           .c_str());
+}
+
+TEST(ScenarioRunner, ForkedChildTimeoutAttachesItsOwnFlightRecording) {
+  // Two children of the same warmed prefix: one with fault injection that
+  // completes, then one without faults that trips the event watchdog. The
+  // timeout's post-mortem dump must be the second child's own recording —
+  // if the prefix entry leaked the first child's ring across the restore,
+  // fault-arm/fault-fire events would surface in a run that has no faults.
+  config::ScenarioRunner::Options opt;
+  opt.scale = 0.005;
+  opt.cache = false;
+  opt.prefix_reuse = true;
+  opt.max_events = 1'000'000;  // ~600k for the faulted child: comfortable
+  config::ScenarioRunner runner(opt);
+
+  const auto faulted = spec_of("faults-storm-shielded");
+  auto doomed = spec_of("abl-shield-full");  // same (machine,kernel,workloads)
+  doomed.probe_params.set("samples", 16'000'000);  // far past the watchdog
+
+  const auto first = runner.run_outcome(faulted, 5);
+  EXPECT_TRUE(first.ok()) << first.error;
+
+  const auto second = runner.run_outcome(doomed, 5);
+  EXPECT_EQ(second.status, config::RunStatus::kTimedOut);
+  EXPECT_EQ(runner.prefix_stats().hits, 1u);  // it really shared the prefix
+
+  const auto& flight = second.flight_recording;
+  ASSERT_FALSE(flight.is_null());
+  EXPECT_GT(flight.find("recorded")->as_u64(), 0u);
+  const auto* events = flight.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->items().size(), 0u);
+  for (const auto& ev : events->items()) {
+    const auto& kind = ev.find("kind")->as_string();
+    EXPECT_NE(kind.substr(0, 6), "fault-")
+        << "sibling's fault event leaked into the forked child's dump";
+  }
 }
 
 TEST(ScenarioRunner, BatchReportRecordsEveryOutcome) {
@@ -415,8 +583,10 @@ namespace {
 std::string cache_file_path(const std::string& dir,
                             const config::ScenarioSpec& spec,
                             std::uint64_t seed, const char* scale) {
+  // Mirrors ScenarioRunner::cache_key for an unforked run under the
+  // early-stop horizon semantics (the "-es1" marker).
   return dir + "/" + spec.digest() + "-" + std::to_string(seed) + "-" + scale +
-         ".json";
+         "-es1.json";
 }
 
 }  // namespace

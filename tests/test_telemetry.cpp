@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <sstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -231,6 +232,53 @@ TEST(FlightRecorder, ReenableWithNewCapacityClearsTheRing) {
   EXPECT_EQ(fr.capacity(), 8u);
 }
 
+TEST(FlightRecorder, FreshSessionAtSameCapacityStartsEmpty) {
+  // Regression: disable() + enable(same capacity) used to keep the old
+  // session's ring and count, so the next dump resurfaced stale events.
+  telemetry::FlightRecorder fr;
+  fr.enable(4);
+  fr.record(1, telemetry::EventKind::kIrqRaise, 0, 11);
+  fr.record(2, telemetry::EventKind::kCtxSwitch, 0, 12);
+  fr.disable();
+  fr.enable(4);
+  EXPECT_EQ(fr.total_recorded(), 0u);
+  EXPECT_TRUE(fr.entries().empty());
+  fr.record(3, telemetry::EventKind::kLockContend, 1, 13);
+  const auto entries = fr.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].a, 13);
+  // A redundant enable() mid-session keeps the recording.
+  fr.enable(4);
+  EXPECT_EQ(fr.total_recorded(), 1u);
+}
+
+TEST(FlightRecorder, WrapBoundariesDropNothingValidAndEmitNothingStale) {
+  // The edges the dump path has to get exactly right: a ring filled to
+  // capacity (head back at 0, not yet wrapped past anything), one past it,
+  // and one short of a second full lap.
+  constexpr std::size_t kCap = 8;
+  const auto fill = [](std::size_t n) {
+    telemetry::FlightRecorder fr;
+    fr.enable(kCap);
+    for (std::size_t i = 0; i < n; ++i) {
+      fr.record(static_cast<sim::Time>(i), telemetry::EventKind::kCtxSwitch, 0,
+                static_cast<std::int32_t>(i));
+    }
+    return fr;
+  };
+  for (const std::size_t n : {kCap, kCap + 1, 2 * kCap - 1}) {
+    const auto fr = fill(n);
+    const auto entries = fr.entries();
+    ASSERT_EQ(entries.size(), kCap) << n;
+    EXPECT_EQ(fr.dropped(), n - kCap) << n;
+    // Oldest surviving entry first, newest last, no uninitialized slots
+    // and no gaps.
+    for (std::size_t i = 0; i < kCap; ++i) {
+      EXPECT_EQ(entries[i].a, static_cast<std::int32_t>(n - kCap + i)) << n;
+    }
+  }
+}
+
 TEST(FlightRecorder, EventKindNamesAreStable) {
   // The dump schema exposes these strings; renaming one breaks consumers.
   EXPECT_STREQ(to_string(telemetry::EventKind::kIrqRaise), "irq-raise");
@@ -381,6 +429,48 @@ TEST(TelemetryIntegration, ResetLatencyCountersStartsASecondRunFromZero) {
   // measurement window is independent of the first.
   p.run_for(100_ms);
   EXPECT_GT(k.latency_counter("sched.switches", 0), 0u);
+}
+
+TEST(TelemetryIntegration, ResetLeavesNoResidueInAnyRegistrySeries) {
+  // The engine-reuse audit: after a warmed-up platform resets its counters,
+  // *every* series in the registry must read zero — counters, histograms
+  // and gauges alike (gauges read through to component state, so a nonzero
+  // gauge here means some component kept first-window residue). The
+  // allowlist names series that are genuinely allowed to survive; today it
+  // is empty, and additions need a written justification.
+  const std::set<std::string> allowlist = {};
+
+  config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                     config::KernelConfig::vanilla_2_4_20(), 7);
+  workload::make_workload("stress-kernel", config::json::Value::object())
+      ->install(p);
+  p.boot();
+  p.engine().chain_tracer().enable();
+  p.engine().flight_recorder().enable(64);
+  p.run_for(100_ms);
+
+  // The first window actually exercised the residue carriers. (In a
+  // -DSHIELDSIM_CHAIN_TRACE=OFF build the tracer is a stub that never
+  // opens a chain; the rest of the audit still applies.)
+  if (sim::ChainTracer::compiled_in()) {
+    EXPECT_GT(p.engine().chain_tracer().opened(), 0u);
+  }
+  EXPECT_GT(p.engine().flight_recorder().total_recorded(), 0u);
+
+  p.kernel().reset_latency_counters();
+
+  const auto names = p.engine().telemetry().series_names();
+  const auto values = p.engine().telemetry().snapshot_values();
+  ASSERT_EQ(names.size(), values.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (allowlist.count(names[i]) > 0) continue;
+    EXPECT_EQ(values[i], 0u) << names[i] << " survived reset";
+  }
+  EXPECT_EQ(p.engine().chain_tracer().opened(), 0u);
+  EXPECT_EQ(p.engine().chain_tracer().completed(), 0u);
+  EXPECT_EQ(p.engine().chain_tracer().dropped(), 0u);
+  EXPECT_EQ(p.engine().flight_recorder().total_recorded(), 0u);
+  EXPECT_TRUE(p.engine().flight_recorder().entries().empty());
 }
 
 // ---- spec plumbing ----------------------------------------------------------

@@ -61,6 +61,9 @@ void usage(const char* argv0, std::FILE* to) {
       "change)\n"
       "  --max-events N  watchdog: abort a run after N simulated events\n"
       "  --wall-limit S  watchdog: abort a run after S wall-clock seconds\n"
+      "  --no-prefix     disable prefix-snapshot sharing (scenarios with\n"
+      "                  the same machine+kernel+workloads normally fork\n"
+      "                  one warmed snapshot instead of booting each time)\n"
       "stat options:\n"
       "  --top N         show the N largest series (default 25; 0 = all)\n"
       "  --json          print the full telemetry document\n"
@@ -86,6 +89,7 @@ struct RunArgs {
   bool telemetry = false;
   std::uint64_t max_events = 0;
   double wall_limit_s = 0.0;
+  bool no_prefix = false;
 };
 
 RunArgs parse_run(int argc, char** argv, int from) {
@@ -125,6 +129,8 @@ RunArgs parse_run(int argc, char** argv, int from) {
     } else if (std::strcmp(argv[i], "--wall-limit") == 0) {
       need_value(i);
       a.wall_limit_s = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--no-prefix") == 0) {
+      a.no_prefix = true;
     } else if (argv[i][0] == '-') {
       bad_arg(argv, (std::string("unknown option '") + argv[i] + "'").c_str());
     } else {
@@ -195,6 +201,7 @@ int cmd_run(const RunArgs& a) {
   ro.cache_dir = a.cache_dir;
   ro.max_events = a.max_events;
   ro.wall_limit_s = a.wall_limit_s;
+  ro.prefix_reuse = !a.no_prefix;
   config::ScenarioRunner runner(ro);
 
   if (!a.json) {
@@ -239,6 +246,18 @@ int cmd_run(const RunArgs& a) {
                      to_string(out.status), out.error.c_str());
       }
     }
+  }
+  if (!a.json && report.prefix_hits + report.prefix_misses > 0) {
+    const double rate =
+        static_cast<double>(report.prefix_hits) /
+        static_cast<double>(report.prefix_hits + report.prefix_misses);
+    std::printf(
+        "fork reuse: %llu of %llu runs forked a shared prefix snapshot "
+        "(%.0f%% hit rate)\n",
+        static_cast<unsigned long long>(report.prefix_hits),
+        static_cast<unsigned long long>(report.prefix_hits +
+                                        report.prefix_misses),
+        100.0 * rate);
   }
   if (!a.report_path.empty()) {
     std::FILE* f = std::fopen(a.report_path.c_str(), "w");

@@ -79,6 +79,31 @@ dump = report["outcomes"][0]["flight_recording"]
 assert dump["schema"] == "flight-recorder-v1", dump
 assert dump["events"], "flight dump has no events"
 EOF
+
+# Forked-child degradation: two specs that share a simulated prefix, with an
+# event budget between their costs, so the first (cold) run completes and the
+# second — forked from the shared prefix snapshot — hits the watchdog. The
+# report must show the prefix hit AND attach the child's own flight recording
+# to the timed-out outcome, not the prefix parent's.
+./build/tools/shieldctl run abl-shield-full faults-storm-shielded --smoke \
+  --max-events 100000 --report "${cachedir}/fork-timeout-report.json" \
+  > /dev/null 2>&1 && {
+    echo "verify: forked watchdogged run unexpectedly exited 0"; exit 1; } || true
+python3 - "${cachedir}/fork-timeout-report.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "degraded-run-report-v1", report
+assert report["timed_out"] == 1 and report["ok"] == 1, report
+reuse = report["prefix_reuse"]
+assert reuse["hits"] >= 1, reuse
+by_name = {o["name"]: o for o in report["outcomes"]}
+assert by_name["abl-shield-full"]["status"] == "ok", by_name
+doomed = by_name["faults-storm-shielded"]
+assert doomed["status"] == "timed_out", doomed
+dump = doomed["flight_recording"]
+assert dump["schema"] == "flight-recorder-v1", dump
+assert dump["events"], "forked child's flight dump has no events"
+EOF
 python3 tools/telemetry_report.py "${cachedir}/telemetry.json" > /dev/null
 : > "${cachedir}/empty.json"
 if python3 tools/trace_report.py "${cachedir}/empty.json" \
@@ -95,3 +120,14 @@ cmake -S . -B build-notrace -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSHIELDSIM_CHAIN_TRACE=OFF
 cmake --build build-notrace -j "${jobs}"
 ctest --test-dir build-notrace --output-on-failure -j 4
+
+# Snapshot bit-identity, explicitly, in both hardened builds: every builtin
+# spec must survive a mid-run capture/restore byte-identically (probe output,
+# latency JSON, telemetry timeline), and prefix-forked runs must match cold
+# runs. ctest above already covers these; the standalone invocations make the
+# gate visible and keep it failing loudly if the suites are ever renamed or
+# filtered out of the ctest registration.
+./build-asan/tests/shieldsim_tests \
+  --gtest_filter='SnapshotBitIdentity.*:PrefixReuse.*' --gtest_brief=1
+./build-notrace/tests/shieldsim_tests \
+  --gtest_filter='SnapshotBitIdentity.*:PrefixReuse.*' --gtest_brief=1
