@@ -10,6 +10,7 @@
 #include "fault/injector.h"
 #include "hw/interrupt_controller.h"
 #include "kernel/goodness_scheduler.h"
+#include "kernel/irq_pipeline.h"
 #include "kernel/o1_scheduler.h"
 #include "metrics/histogram.h"
 #include "rt/realfeel_test.h"
@@ -117,6 +118,41 @@ void BM_SimulatedSecondUnderStressKernel(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatedSecondUnderStressKernel)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedSecondWithOobStage(benchmark::State& state) {
+  // The same scenario with the realfeel reader and its RTC line adopted
+  // onto the out-of-band stage. bench_trend.py divides the cpu-time delta
+  // against the plain bench above by the dispatch counter to record
+  // oob_dispatch_ns — what one oob delivery costs the simulator.
+  std::uint64_t events = 0;
+  std::uint64_t dispatches = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    config::Platform p(config::MachineConfig::dual_p3_xeon_933(),
+                       config::KernelConfig::vanilla_2_4_20(), 5);
+    workload::StressKernel{}.install(p);
+    rt::RealfeelTest::Params rp;
+    rp.samples = ~std::uint64_t{0};
+    rt::RealfeelTest test(p.kernel(), p.rtc_driver(), rp);
+    kernel::Kernel& k = p.kernel();
+    k.set_mechanism(kernel::MechanismKind::kOob);
+    auto& oob = static_cast<kernel::OobPipeline&>(k.pipeline());
+    oob.adopt_task(test.task());
+    oob.adopt_irq(p.rtc_device().irq());
+    p.boot();
+    test.start();
+    state.ResumeTiming();
+    p.run_for(1_s);
+    events += p.engine().events_executed();
+    dispatches += oob.dispatches();
+    benchmark::DoNotOptimize(p.engine().events_executed());
+  }
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
+  state.counters["dispatches"] = benchmark::Counter(
+      static_cast<double>(dispatches), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SimulatedSecondWithOobStage)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatedSecondWithFaultInjector(benchmark::State& state) {
   // Same scenario with a fault::Injector attached. Arg 0: an empty plan —

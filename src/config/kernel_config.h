@@ -113,6 +113,15 @@ struct KernelConfig {
   sim::Duration other_timeslice = 60 * sim::kMillisecond;
   sim::Duration rr_timeslice = 100 * sim::kMillisecond;
 
+  // ---- out-of-band stage (OobPipeline; unused by the in-band mechanism) -----
+  /// Fixed cost from adopted-vector arrival to the oob handler running:
+  /// the Dovetail-style pipelined entry does no masking, no frame setup,
+  /// no Linux irq_enter — a couple hundred cycles.
+  sim::Duration oob_dispatch_cost = 150;
+  /// Fixed cost to switch an oob task in (the stage's whole scheduler is a
+  /// head-of-list pick; context is tiny and cache-hot).
+  sim::Duration oob_switch_cost = 120;
+
   // ---- presets -------------------------------------------------------------
   /// kernel.org 2.4.20 exactly as shipped.
   static KernelConfig vanilla_2_4_20();

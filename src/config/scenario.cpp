@@ -196,6 +196,9 @@ json::Value ScenarioSpec::to_json() const {
   v.set("workloads", std::move(wl));
   v.set("probe", probe);
   v.set("probe_params", probe_params);
+  // Emitted only when non-default so pre-mechanism spec digests — and their
+  // cached byte-identical outputs — are unchanged.
+  if (mechanism != "inband") v.set("mechanism", mechanism);
   v.set("shield", shield_to_json(shield));
   v.set("duration", duration_to_json(duration));
   // Emitted only when set so fault-free scenario digests are unchanged.
@@ -251,6 +254,8 @@ ScenarioSpec ScenarioSpec::from_json(const json::Value& v) {
     } else if (key == "probe_params") {
       if (!val.is_object()) fail("'probe_params' must be an object");
       s.probe_params = val;
+    } else if (key == "mechanism") {
+      s.mechanism = str_field(val, key);
     } else if (key == "shield") {
       s.shield = shield_from_json(val);
     } else if (key == "duration") {
@@ -309,6 +314,10 @@ void ScenarioSpec::validate() const {
   }
   if (!rt::probe_contains(probe)) {
     fail("'" + name + "': unknown probe '" + probe + "'");
+  }
+  if (mechanism != "inband" && mechanism != "oob") {
+    fail("'" + name + "': unknown mechanism '" + mechanism +
+         "' (expected 'inband' or 'oob')");
   }
   if (rt::probe_duration_bound(probe)) {
     if (duration.fixed_ns == 0) {
@@ -437,6 +446,10 @@ void apply_kernel_overrides(KernelConfig& cfg, const json::Value& overrides) {
       cfg.other_timeslice = v.as_u64();
     } else if (key == "rr_timeslice_ns") {
       cfg.rr_timeslice = v.as_u64();
+    } else if (key == "oob_dispatch_cost_ns") {
+      cfg.oob_dispatch_cost = v.as_u64();
+    } else if (key == "oob_switch_cost_ns") {
+      cfg.oob_switch_cost = v.as_u64();
     } else {
       fail("unknown kernel override '" + key + "'");
     }
@@ -480,7 +493,9 @@ std::vector<std::string> kernel_override_keys() {
           "fault_cost_min_ns",
           "fault_cost_max_ns",
           "other_timeslice_ns",
-          "rr_timeslice_ns"};
+          "rr_timeslice_ns",
+          "oob_dispatch_cost_ns",
+          "oob_switch_cost_ns"};
 }
 
 }  // namespace config

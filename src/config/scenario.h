@@ -95,6 +95,13 @@ struct ScenarioSpec {
   std::string probe = "realfeel";  ///< probe registry name
   json::Value probe_params = json::Value::object();
 
+  /// Interrupt-delivery mechanism: "inband" (the paper's kernels; default)
+  /// or "oob" (the dual-kernel out-of-band stage — the probe task and its
+  /// IRQ line are adopted by kernel::OobPipeline). The default is not
+  /// serialized, so every pre-existing spec's digest — and its cached,
+  /// byte-identical output — is unchanged.
+  std::string mechanism = "inband";
+
   ShieldPlan shield;
   DurationPolicy duration;
 

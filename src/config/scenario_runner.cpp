@@ -147,6 +147,21 @@ void apply_shield(const ScenarioSpec& spec, Platform& p, rt::Probe& probe) {
   }
 }
 
+// ---- delivery mechanism ----------------------------------------------------
+
+/// Install the spec's interrupt-delivery mechanism on the booted-or-booting
+/// kernel. For "oob" the probe's task and IRQ line move onto the out-of-band
+/// stage; "inband" (the default) leaves the kernel exactly as constructed,
+/// so omitting the field cannot perturb any byte of any output.
+void apply_mechanism(const ScenarioSpec& spec, Platform& p, rt::Probe& probe) {
+  if (spec.mechanism != "oob") return;
+  kernel::Kernel& k = p.kernel();
+  k.set_mechanism(kernel::MechanismKind::kOob);
+  auto& oob = static_cast<kernel::OobPipeline&>(k.pipeline());
+  if (probe.task() != nullptr) oob.adopt_task(*probe.task());
+  if (probe.irq() >= 0) oob.adopt_irq(probe.irq());
+}
+
 bool read_file(const std::string& path, std::string& out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
@@ -420,6 +435,8 @@ const char* to_string(RunStatus s) {
 json::Value RunOutcome::to_json() const {
   Value v = Value::object();
   v.set("name", name);
+  // Default mechanism omitted: pre-mechanism reports keep their exact bytes.
+  if (mechanism != "inband") v.set("mechanism", mechanism);
   v.set("status", to_string(status));
   v.set("attempts", attempts);
   if (!error.empty()) v.set("error", error);
@@ -464,6 +481,28 @@ json::Value BatchReport::to_json() const {
     pr.set("hit_rate", static_cast<double>(prefix_hits) /
                            static_cast<double>(prefix_hits + prefix_misses));
     v.set("prefix_reuse", std::move(pr));
+  }
+  // Per-mechanism pass/fail breakdown, present only when the batch actually
+  // mixed mechanisms in (any non-default outcome) — all-inband reports keep
+  // their exact serialized form.
+  bool any_non_default = false;
+  for (const auto& o : outcomes) {
+    if (o.mechanism != "inband") any_non_default = true;
+  }
+  if (any_non_default) {
+    std::map<std::string, std::pair<std::size_t, std::size_t>> mech;  // ok/fail
+    for (const auto& o : outcomes) {
+      auto& [okc, failc] = mech[o.mechanism];
+      (o.ok() ? okc : failc)++;
+    }
+    Value by = Value::object();
+    for (const auto& [kind, counts] : mech) {
+      Value e = Value::object();
+      e.set("ok", counts.first);
+      e.set("failed", counts.second);
+      by.set(kind, std::move(e));
+    }
+    v.set("by_mechanism", std::move(by));
   }
   Value arr = Value::array();
   for (const auto& o : outcomes) arr.push(o.to_json());
@@ -583,6 +622,7 @@ ScenarioResult ScenarioRunner::run_uncached(const ScenarioSpec& spec,
 
   const auto probe =
       rt::make_probe(spec.probe, p, spec.probe_params, opt_.scale);
+  apply_mechanism(spec, p, *probe);
   p.boot();
   apply_shield(spec, p, *probe);
   probe->start();
@@ -716,6 +756,7 @@ ScenarioResult ScenarioRunner::run_forked(const ScenarioSpec& spec,
     // immediately runnable, which create_task supports on a live kernel.
     const auto probe =
         rt::make_probe(spec.probe, p, spec.probe_params, opt_.scale);
+    apply_mechanism(spec, p, *probe);
     apply_shield(spec, p, *probe);
     probe->start();
 
@@ -881,6 +922,7 @@ ScenarioRunner::SnapshotCheck ScenarioRunner::snapshot_bit_identity(
     }
     auto probe =
         rt::make_probe(spec.probe, *p, spec.probe_params, opt_.scale);
+    apply_mechanism(spec, *p, *probe);
     p->boot();
     apply_shield(spec, *p, *probe);
     probe->start();
@@ -1003,6 +1045,7 @@ RunOutcome ScenarioRunner::run_outcome(const ScenarioSpec& spec,
                                        std::uint64_t seed) {
   RunOutcome out;
   out.name = spec.name;
+  out.mechanism = spec.mechanism;
   const int allowed = spec.transient ? std::max(1, opt_.max_attempts) : 1;
   std::uint64_t attempt_seed = seed;
   for (int attempt = 1; attempt <= allowed; ++attempt) {

@@ -104,6 +104,9 @@ enum class RunStatus {
 /// Per-spec record in a degraded-run batch report.
 struct RunOutcome {
   std::string name;
+  /// Delivery mechanism the spec ran under ("inband"/"oob"). Serialized
+  /// only when non-default; feeds the report's by_mechanism breakdown.
+  std::string mechanism = "inband";
   RunStatus status = RunStatus::kOk;
   int attempts = 1;
   std::string error;  ///< what() of the last failure (empty on success)

@@ -355,8 +355,11 @@ void Kernel::begin_hardirq(hw::CpuId cpu, int vector) {
   SIM_ASSERT(cs.irqs_enabled() && !cs.switching);
   pause_segment(cpu);
   cs.hardirqs++;
-  engine_.flight_recorder().record(
-      engine_.now(), telemetry::EventKind::kIrqDispatch, cpu, vector);
+  // Shared dispatch bookkeeping (flight event, chain pickup with its
+  // irq-raise segment covering wire delay plus any time the line sat
+  // pending, auditor dispatch-latency sample) lives in the pipeline so both
+  // mechanisms and both consumers read the same raise timestamp.
+  const sim::ChainId chain = pipeline_->note_dispatch(cpu, vector);
 
   sim::Duration cost = cfg_.irq_entry_cost + cfg_.irq_exit_cost;
   if (vector >= 0) {
@@ -372,20 +375,18 @@ void Kernel::begin_hardirq(hw::CpuId cpu, int vector) {
     cost = cs.smi_stall_budget > 0 ? cs.smi_stall_budget : 500_ns;
     cs.smi_stall_budget = 0;
     cs.smi_stalls++;
+  } else if (vector == kVectorOobStage) {
+    // The oob stage stole these cycles: like an SMI, no kernel entry/exit,
+    // just time the in-band CPU does not get.
+    cost = cs.oob_stall_budget > 0 ? cs.oob_stall_budget : 500_ns;
+    cs.oob_stall_budget = 0;
+    cs.oob_preemptions++;
   } else {
     cost += 500_ns;  // reschedule IPI: acknowledge and return
   }
 
   cs.irq_frames.push_back(IrqFrame{IrqFrame::Kind::kHardirq, vector, cost, 0.4});
-  if (vector >= 0) {
-    // Pick up the latency chain the controller opened at raise time; the
-    // first segment covers the wire delay plus any time the line sat
-    // pending while this CPU had interrupts masked.
-    IrqFrame& fr = cs.irq_frames.back();
-    fr.chain = ic_.take_chain(vector);
-    engine_.chain_tracer().mark(fr.chain, sim::SegmentKind::kIrqRaise, cpu,
-                                engine_.now());
-  }
+  if (vector >= 0) cs.irq_frames.back().chain = chain;
   mask_irqs(cpu);
   start_segment(cpu);
 }

@@ -94,10 +94,23 @@ Kernel::Kernel(sim::Engine& engine, const hw::Topology& topo,
 
   local_timer_ = std::make_unique<hw::LocalTimer>(engine_, topo_,
                                                   cfg_.local_timer_period);
-  local_timer_->set_tick_fn([this](hw::CpuId cpu) { local_timer_tick(cpu); });
+  // The hw edges deliver into the mechanism layer, not the kernel directly:
+  // the lambdas read pipeline_ at fire time, so set_mechanism needs no
+  // re-hooking.
+  pipeline_ = std::make_unique<InBandPipeline>(*this);
+  local_timer_->set_tick_fn(
+      [this](hw::CpuId cpu) { pipeline_->timer_tick(cpu); });
 
   register_telemetry();
   register_proc_files();
+}
+
+void Kernel::set_mechanism(MechanismKind kind) {
+  if (pipeline_->kind() == kind) return;
+  SIM_ASSERT_MSG(kind == MechanismKind::kOob &&
+                     pipeline_->kind() == MechanismKind::kInBand,
+                 "mechanism can only move from inband to oob");
+  pipeline_ = std::make_unique<OobPipeline>(*this);
 }
 
 Kernel::~Kernel() = default;
@@ -221,7 +234,7 @@ void Kernel::start() {
   started_ = true;
 
   ic_.set_deliver_fn(
-      [this](hw::CpuId cpu, hw::Irq irq) { deliver_vector(cpu, irq); });
+      [this](hw::CpuId cpu, hw::Irq irq) { pipeline_->device_irq(cpu, irq); });
   ic_.set_idle_query([this](hw::CpuId cpu) { return cpu_idle(cpu); });
 
   for (hw::CpuId cpu = 0; cpu < topo_.logical_cpus(); ++cpu) {
@@ -242,6 +255,9 @@ bool Kernel::sched_setaffinity(Task& t, hw::CpuMask mask) {
   if (mask.empty()) return false;
   t.user_affinity = mask;
   t.effective_affinity = shield::effective_affinity(mask, proc_shield_);
+  // Stage-owned tasks only record the masks: oob placement is fixed at
+  // adoption and shielding cannot move the stage.
+  if (pipeline_->owns(t)) return true;
   // Requeue if parked on a CPU it may no longer use.
   if (t.on_runqueue) {
     sched_->dequeue(t);
@@ -295,6 +311,7 @@ void Kernel::reapply_affinities() {
         shield::effective_affinity(t.user_affinity, proc_shield_);
     if (effective == t.effective_affinity) continue;
     t.effective_affinity = effective;
+    if (pipeline_->owns(t)) continue;
     if (t.on_runqueue) {
       sched_->dequeue(t);
       const hw::CpuId target = sched_->select_cpu(
@@ -351,21 +368,18 @@ void Kernel::wake_task(Task& t) {
 }
 
 void Kernel::make_runnable(Task& t) {
+  if (pipeline_->owns(t)) {
+    // Stage-owned tasks never touch the in-band runqueues: the oob
+    // scheduler switches them in itself.
+    pipeline_->on_runnable(t);
+    return;
+  }
   SIM_ASSERT(t.state != TaskState::kRunning && !t.on_runqueue);
   t.state = TaskState::kReady;
   t.last_wake = engine_.now();
   t.freshly_woken = true;
   auditor_.task_woken(engine_.now());
-  if (wake_chain_.valid()) {
-    // First task woken inside the attribution window inherits the latency
-    // chain: the segment up to now is the waker's context (irq handler or
-    // timer expiry); what follows is this task's runqueue wait.
-    sim::ChainTracer& tracer = engine_.chain_tracer();
-    tracer.mark(wake_chain_, wake_chain_kind_, wake_chain_cpu_, engine_.now());
-    if (t.chain.valid()) tracer.abandon(t.chain);
-    t.chain = wake_chain_;
-    wake_chain_ = {};
-  }
+  take_wake_chain(t);
   hw::CpuId target = sched_->select_cpu(
       t, t.effective_affinity, [this](hw::CpuId c) { return cpu_idle(c); });
   if (t.is_rt() && !cpu_idle(target)) {
@@ -395,6 +409,19 @@ void Kernel::make_runnable(Task& t) {
   SIM_ASSERT(t.effective_affinity.test(target));
   sched_->enqueue(t, target);
   check_preempt(target, t);
+}
+
+void Kernel::take_wake_chain(Task& t) {
+  if (!wake_chain_.valid()) return;
+  if (wake_chain_oob_only_ && !pipeline_->owns(t)) return;
+  // First task woken inside the attribution window inherits the latency
+  // chain: the segment up to now is the waker's context (irq handler or
+  // timer expiry); what follows is this task's runqueue wait.
+  sim::ChainTracer& tracer = engine_.chain_tracer();
+  tracer.mark(wake_chain_, wake_chain_kind_, wake_chain_cpu_, engine_.now());
+  if (t.chain.valid()) tracer.abandon(t.chain);
+  t.chain = wake_chain_;
+  wake_chain_ = {};
 }
 
 std::optional<sim::LatencyChain> Kernel::finish_latency_chain(Task& t) {
@@ -661,6 +688,7 @@ void Kernel::reset_latency_counters() {
     cs.spin_wait_time = 0;
     cs.bkl_hold_time = 0;
     cs.smi_stalls = 0;
+    cs.oob_preemptions = 0;
     cs.softirq.reset_counts();
   }
   for (auto& l : locks_) l.reset_counters();

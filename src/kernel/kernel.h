@@ -34,6 +34,7 @@
 #include "hw/memory_system.h"
 #include "hw/topology.h"
 #include "hw/types.h"
+#include "kernel/irq_pipeline.h"
 #include "kernel/kernel_ops.h"
 #include "kernel/latency_auditor.h"
 #include "kernel/procfs.h"
@@ -52,6 +53,10 @@ inline constexpr int kVectorReschedIpi = -2;
 /// SMI-like stall injected by fault::Injector: unmaskable by shielding,
 /// consumes the CPU's accumulated stall budget (see inject_cpu_stall).
 inline constexpr int kVectorSmi = -3;
+/// Cycles stolen from the in-band kernel by out-of-band stage execution
+/// (OobPipeline). Like an SMI: unmaskable by shielding, budget-based, but
+/// accounted separately so oob interference is visible as its own counter.
+inline constexpr int kVectorOobStage = -4;
 
 /// A registered device interrupt handler: sampled top-half cost plus
 /// effects applied when the handler completes (wakeups, softirq raises).
@@ -106,6 +111,8 @@ struct CpuState {
   sim::Duration bkl_hold_time = 0;   ///< time the BKL was held from this CPU
   sim::Duration smi_stall_budget = 0;  ///< pending injected SMI stall time
   std::uint64_t smi_stalls = 0;        ///< injected stalls taken
+  sim::Duration oob_stall_budget = 0;  ///< pending oob-stage steal time
+  std::uint64_t oob_preemptions = 0;   ///< oob-stage stall frames taken
 
   [[nodiscard]] bool irqs_enabled() const { return irq_off_depth == 0; }
 };
@@ -236,6 +243,16 @@ class Kernel {
   hw::InterruptController& interrupt_controller() { return ic_; }
   hw::LocalTimer& local_timer() { return *local_timer_; }
 
+  // ---- delivery mechanism ---------------------------------------------------
+
+  /// Switch the interrupt-delivery mechanism. Only the inband→oob
+  /// transition is supported (a stage, once brought up, stays up for the
+  /// kernel's lifetime); selecting the current mechanism is a no-op. Legal
+  /// before or after start().
+  void set_mechanism(MechanismKind kind);
+  [[nodiscard]] MechanismKind mechanism() const { return pipeline_->kind(); }
+  IrqPipeline& pipeline() { return *pipeline_; }
+
   /// Sample a critical-section hold time from this kernel's distribution
   /// (vanilla: heavy tail to tens of ms; low-latency: capped near 1 ms).
   sim::Duration sample_section();
@@ -307,7 +324,16 @@ class Kernel {
   /// behaviors at each sample's observation point.
   std::optional<sim::LatencyChain> finish_latency_chain(Task& t);
 
+  /// Consume the wakeup-attribution window onto `t`: mark the pending
+  /// chain's current segment and hand the chain to the task. No-op when no
+  /// window is open, or when the window is oob-restricted and `t` is not a
+  /// stage-owned task.
+  void take_wake_chain(Task& t);
+
  private:
+  friend class OobPipeline;
+
+
   void spawn_ksoftirqd(hw::CpuId cpu);
   void register_proc_files();
   void register_telemetry();
@@ -342,6 +368,13 @@ class Kernel {
   sim::ChainId wake_chain_{};
   sim::SegmentKind wake_chain_kind_ = sim::SegmentKind::kIrqHandler;
   hw::CpuId wake_chain_cpu_ = -1;
+  /// When true the open window may only be consumed by oob-stage tasks
+  /// (oob handler effects can wake in-band helpers — e.g. ksoftirqd via a
+  /// deferred softirq raise — which must not steal the stage's chain).
+  bool wake_chain_oob_only_ = false;
+
+  /// The active delivery mechanism; hw edges route through it. Never null.
+  std::unique_ptr<IrqPipeline> pipeline_;
 
   struct KernelTimer {
     WaitQueueId wq = kNoWaitQueue;

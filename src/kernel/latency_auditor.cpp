@@ -39,6 +39,10 @@ void LatencyAuditor::preempt_enabled(int cpu, sim::Time now) {
 
 void LatencyAuditor::task_woken(sim::Time /*now*/) {}
 
+void LatencyAuditor::irq_dispatched(int cpu, sim::Duration latency) {
+  cpus_[static_cast<std::size_t>(cpu)].dispatch.add(latency);
+}
+
 void LatencyAuditor::task_scheduled_in(sim::Time wake_time, sim::Time now,
                                        bool rt) {
   if (now < wake_time) return;  // task was never off the CPU
@@ -55,6 +59,10 @@ const metrics::LatencyHistogram& LatencyAuditor::preempt_off(int cpu) const {
   return cpus_[static_cast<std::size_t>(cpu)].preempt_off;
 }
 
+const metrics::LatencyHistogram& LatencyAuditor::irq_dispatch(int cpu) const {
+  return cpus_[static_cast<std::size_t>(cpu)].dispatch;
+}
+
 sim::Duration LatencyAuditor::worst_irq_off() const {
   sim::Duration worst = 0;
   for (const auto& c : cpus_) {
@@ -67,6 +75,7 @@ void LatencyAuditor::reset() {
   for (auto& c : cpus_) {
     c.irq_off.clear();
     c.preempt_off.clear();
+    c.dispatch.clear();
   }
   rt_sched_latency_.clear();
   sched_latency_.clear();

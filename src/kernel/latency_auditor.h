@@ -32,10 +32,19 @@ class LatencyAuditor {
   void preempt_enabled(int cpu, sim::Time now);
   void task_woken(sim::Time now);  // reserved for rate stats
   void task_scheduled_in(sim::Time wake_time, sim::Time now, bool rt);
+  /// Raise→dispatch latency of one delivered device interrupt (wire delay
+  /// plus any time the line sat pending). Fed by IrqPipeline::note_dispatch
+  /// from the InterruptController's raise timestamp — the same instant the
+  /// ChainTracer's irq-raise segment starts, so the two agree exactly.
+  void irq_dispatched(int cpu, sim::Duration latency);
 
   // ---- results ------------------------------------------------------------------
   [[nodiscard]] const metrics::LatencyHistogram& irq_off(int cpu) const;
   [[nodiscard]] const metrics::LatencyHistogram& preempt_off(int cpu) const;
+  /// Per-CPU raise→dispatch latency of delivered device interrupts.
+  /// Memory-only (not exported through any registry gauge or procfs view):
+  /// exports would perturb the byte-identity gates on pre-refactor output.
+  [[nodiscard]] const metrics::LatencyHistogram& irq_dispatch(int cpu) const;
   /// Wakeup→run latency over all CPUs, RT tasks only.
   [[nodiscard]] const metrics::LatencyHistogram& rt_sched_latency() const {
     return rt_sched_latency_;
@@ -56,6 +65,7 @@ class LatencyAuditor {
   struct PerCpu {
     metrics::LatencyHistogram irq_off;
     metrics::LatencyHistogram preempt_off;
+    metrics::LatencyHistogram dispatch;
     sim::Time irq_off_since = 0;
     sim::Time preempt_off_since = 0;
     bool irq_off_active = false;

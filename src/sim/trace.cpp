@@ -70,6 +70,8 @@ const char* to_string(SegmentKind k) {
     case SegmentKind::kContextSwitch: return "context-switch";
     case SegmentKind::kSpinWait: return "spin-wait";
     case SegmentKind::kKernelExit: return "kernel-exit";
+    case SegmentKind::kOobDispatch: return "oob-dispatch";
+    case SegmentKind::kOobSwitch: return "oob-switch";
   }
   return "?";
 }

@@ -96,6 +96,8 @@ enum class SegmentKind : std::uint8_t {
   kContextSwitch,  ///< scheduler pick + switch cost
   kSpinWait,       ///< busy-waiting on a contended spinlock (detail = lock)
   kKernelExit,     ///< in-kernel work on the woken path back to user space
+  kOobDispatch,    ///< out-of-band stage handler dispatch (fixed cost)
+  kOobSwitch,      ///< out-of-band stage task switch-in (fixed cost)
 };
 
 const char* to_string(SegmentKind k);

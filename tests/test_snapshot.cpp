@@ -248,6 +248,27 @@ TEST(SnapshotBitIdentity, EveryBuiltinSpecSurvivesMidRunRestore) {
   }
 }
 
+// The oob stage keeps live state outside the kernel proper (pipeline
+// contexts, captured timers, stall counters). All of it is allocated while
+// the arena is active, so a mid-run snapshot/restore of an oob scenario
+// must be as bit-identical as the in-band ones the loop above also covers —
+// this names the interop explicitly so a regression points here first.
+TEST(SnapshotBitIdentity, OobMechanismSurvivesMidRunRestore) {
+  config::ScenarioRunner::Options opt;
+  opt.scale = 0.01;
+  opt.cache = false;
+  config::ScenarioRunner runner(opt);
+  for (const char* name : {"mech-rcim-oob", "mech-cyclic-oob"}) {
+    const auto spec = spec_of(name);
+    ASSERT_EQ(spec.mechanism, "oob") << name;
+    const auto check = runner.snapshot_bit_identity(spec, 2017);
+    EXPECT_TRUE(check.identical)
+        << name << ": continued " << (check.baseline == check.continued)
+        << ", resumed " << (check.baseline == check.resumed);
+    EXPECT_GT(check.snapshot_bytes, 0u) << name;
+  }
+}
+
 // ---- fork/prefix reuse ------------------------------------------------------
 
 namespace {

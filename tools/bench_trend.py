@@ -73,12 +73,18 @@ def run_bench(binary, bench_filter, min_time, repetitions):
         mid = reps[len(reps) // 2]
         entry = {
             "cpu_time": mid["cpu_time"],
+            # Best-of-N: scheduler interference on a shared box is strictly
+            # additive, so the min is the noise-robust estimator the tight
+            # overhead gates compare.
+            "cpu_time_min": reps[0]["cpu_time"],
             "time_unit": mid["time_unit"],
             "iterations": mid["iterations"],
             "repetitions": len(reps),
         }
         if "events" in mid:  # user counter: simulated events per iteration
             entry["events"] = mid["events"]
+        if "dispatches" in mid:  # user counter: oob-stage deliveries
+            entry["dispatches"] = mid["dispatches"]
         benchmarks[name] = entry
     return report.get("context", {}), benchmarks
 
@@ -93,11 +99,12 @@ def injector_overhead(benchmarks):
         return None
     if base["time_unit"] != "ms" or empty["time_unit"] != "ms":
         return None
-    delta_ns = (empty["cpu_time"] - base["cpu_time"]) * 1e6
+    bt = base.get("cpu_time_min", base["cpu_time"])
+    et = empty.get("cpu_time_min", empty["cpu_time"])
+    delta_ns = (et - bt) * 1e6
     return {
         "empty_plan_ns_per_event": round(delta_ns / empty["events"], 4),
-        "empty_plan_pct": round(
-            100.0 * (empty["cpu_time"] / base["cpu_time"] - 1.0), 2),
+        "empty_plan_pct": round(100.0 * (et / bt - 1.0), 2),
     }
 
 
@@ -111,11 +118,32 @@ def telemetry_overhead(benchmarks):
         return None
     if base["time_unit"] != "ms" or on["time_unit"] != "ms":
         return None
-    delta_ns = (on["cpu_time"] - base["cpu_time"]) * 1e6
+    bt = base.get("cpu_time_min", base["cpu_time"])
+    ot = on.get("cpu_time_min", on["cpu_time"])
+    delta_ns = (ot - bt) * 1e6
     return {
         "enabled_ns_per_event": round(delta_ns / on["events"], 4),
-        "enabled_pct": round(
-            100.0 * (on["cpu_time"] / base["cpu_time"] - 1.0), 2),
+        "enabled_pct": round(100.0 * (ot / bt - 1.0), 2),
+    }
+
+
+def oob_overhead(benchmarks):
+    """What routing the probe through the out-of-band stage costs the
+    simulator, per oob dispatch, against the same scenario delivered
+    in-band. Records oob_dispatch_ns so the stage's hot path (stall
+    charging, context interpretation, captured timers) has a trend line."""
+    base = benchmarks.get("BM_SimulatedSecondUnderStressKernel")
+    oob = benchmarks.get("BM_SimulatedSecondWithOobStage")
+    if not base or not oob or not oob.get("dispatches"):
+        return None
+    if base["time_unit"] != "ms" or oob["time_unit"] != "ms":
+        return None
+    bt = base.get("cpu_time_min", base["cpu_time"])
+    ot = oob.get("cpu_time_min", oob["cpu_time"])
+    delta_ns = (ot - bt) * 1e6
+    return {
+        "oob_dispatch_ns": round(delta_ns / oob["dispatches"], 4),
+        "oob_pct": round(100.0 * (ot / bt - 1.0), 2),
     }
 
 
@@ -222,6 +250,25 @@ def check(history, tolerance):
         print(f"  telemetry enabled overhead {tel['enabled_pct']:+.1f}% "
               f"({tel['enabled_ns_per_event']} ns/event) exceeds 2%"
               "  <-- REGRESSION")
+    # The mechanism layer put a virtual hop on the in-band delivery hot
+    # path; its acceptance gate is 2% on the stress-kernel second,
+    # whatever the general tolerance. Cross-entry like the main loop, but
+    # with the tighter bar this one benchmark has to hold.
+    name = "BM_SimulatedSecondUnderStressKernel"
+    if name in prev["benchmarks"] and name in cur["benchmarks"]:
+        p, c = prev["benchmarks"][name], cur["benchmarks"][name]
+        if p["time_unit"] == c["time_unit"] and p["cpu_time"]:
+            # Compare best-of-N when both entries carry it: the medians on
+            # a shared box swing more than the 2% bar itself.
+            pv = p.get("cpu_time_min", p["cpu_time"])
+            cv = c.get("cpu_time_min", c["cpu_time"])
+            pct = 100.0 * (cv / pv - 1.0)
+            flag = ""
+            if pct > 2.0:
+                regressions.append("inband_pipeline_overhead")
+                flag = "  <-- REGRESSION"
+            print(f"  in-band delivery cost {pct:+.1f}% on {name} "
+                  f"(2% pipeline-layer budget){flag}")
     # Campaign-throughput gates. The builtin registry's families are built
     # to share prefixes; a hit rate under 30% means the prefix key or the
     # batch scheduling broke. And scenarios/min is the headline the
@@ -317,6 +364,9 @@ def main():
     tel = telemetry_overhead(benchmarks)
     if tel is not None:
         entry["telemetry_overhead"] = tel
+    oob = oob_overhead(benchmarks)
+    if oob is not None:
+        entry["oob_stage"] = oob
     history.append(entry)
     with open(args.out, "w") as f:
         json.dump(history, f, indent=2)

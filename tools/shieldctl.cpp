@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,7 @@ void usage(const char* argv0, std::FILE* to) {
   std::fprintf(
       to,
       "usage:\n"
-      "  %s list [--group G]\n"
+      "  %s list [--group G] [--json]\n"
       "  %s describe <scenario>\n"
       "  %s run <scenario>... [options]\n"
       "  %s run --all [options]\n"
@@ -59,6 +60,9 @@ void usage(const char* argv0, std::FILE* to) {
       "  --telemetry     force the sampler on for every selected scenario\n"
       "                  (results gain a telemetry document; digests "
       "change)\n"
+      "  --mechanism M   override the interrupt-delivery mechanism for every\n"
+      "                  selected scenario (inband|oob; non-default digests\n"
+      "                  change)\n"
       "  --max-events N  watchdog: abort a run after N simulated events\n"
       "  --wall-limit S  watchdog: abort a run after S wall-clock seconds\n"
       "  --no-prefix     disable prefix-snapshot sharing (scenarios with\n"
@@ -90,6 +94,7 @@ struct RunArgs {
   std::uint64_t max_events = 0;
   double wall_limit_s = 0.0;
   bool no_prefix = false;
+  std::string mechanism;  ///< empty = leave each spec's own mechanism
 };
 
 RunArgs parse_run(int argc, char** argv, int from) {
@@ -123,6 +128,12 @@ RunArgs parse_run(int argc, char** argv, int from) {
       a.report_path = argv[++i];
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       a.telemetry = true;
+    } else if (std::strcmp(argv[i], "--mechanism") == 0) {
+      need_value(i);
+      a.mechanism = argv[++i];
+      if (a.mechanism != "inband" && a.mechanism != "oob") {
+        bad_arg(argv, "--mechanism expects 'inband' or 'oob'");
+      }
     } else if (std::strcmp(argv[i], "--max-events") == 0) {
       need_value(i);
       a.max_events = std::strtoull(argv[++i], nullptr, 10);
@@ -142,19 +153,37 @@ RunArgs parse_run(int argc, char** argv, int from) {
 
 int cmd_list(int argc, char** argv) {
   std::string group;
+  bool json = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--group") == 0 && i + 1 < argc) {
       group = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       bad_arg(argv, (std::string("unknown option '") + argv[i] + "'").c_str());
     }
   }
   const auto& reg = config::ScenarioRegistry::builtin();
+  if (json) {
+    auto arr = config::json::Value::array();
+    for (const auto& s : reg.all()) {
+      if (!group.empty() && s.group != group) continue;
+      auto e = config::json::Value::object();
+      e.set("name", s.name);
+      e.set("group", s.group);
+      e.set("title", s.title);
+      e.set("probe", s.probe);
+      e.set("mechanism", s.mechanism);
+      arr.push(std::move(e));
+    }
+    std::printf("%s\n", arr.dump(2).c_str());
+    return 0;
+  }
   std::printf("built-in scenarios:\n");
   for (const auto& s : reg.all()) {
     if (!group.empty() && s.group != group) continue;
-    std::printf("  %-28s [%-10s] %s\n", s.name.c_str(), s.group.c_str(),
-                s.title.c_str());
+    std::printf("  %-28s [%-10s]%s %s\n", s.name.c_str(), s.group.c_str(),
+                s.mechanism == "oob" ? " (oob)" : "", s.title.c_str());
   }
   return 0;
 }
@@ -167,6 +196,7 @@ int cmd_describe(const std::string& name) {
     return 1;
   }
   std::printf("%s\n", s->to_json().dump(2).c_str());
+  std::printf("mechanism: %s\n", s->mechanism.c_str());
   std::printf("digest: %s\n", s->digest().c_str());
   return 0;
 }
@@ -193,6 +223,9 @@ int cmd_run(const RunArgs& a) {
   }
   if (a.telemetry) {
     for (auto& s : specs) s.telemetry.sampler = true;
+  }
+  if (!a.mechanism.empty()) {
+    for (auto& s : specs) s.mechanism = a.mechanism;
   }
 
   config::ScenarioRunner::Options ro;
@@ -258,6 +291,23 @@ int cmd_run(const RunArgs& a) {
         static_cast<unsigned long long>(report.prefix_hits +
                                         report.prefix_misses),
         100.0 * rate);
+  }
+  // Per-mechanism pass/fail breakdown whenever the batch mixed mechanisms
+  // in (mirrors the report JSON's by_mechanism object).
+  bool mixed_mechanisms = false;
+  for (const auto& out : report.outcomes) {
+    if (out.mechanism != "inband") mixed_mechanisms = true;
+  }
+  if (!a.json && mixed_mechanisms) {
+    std::map<std::string, std::pair<std::size_t, std::size_t>> mech;
+    for (const auto& out : report.outcomes) {
+      auto& [okc, failc] = mech[out.mechanism];
+      (out.ok() ? okc : failc)++;
+    }
+    for (const auto& [kind, counts] : mech) {
+      std::printf("mechanism %-7s %zu ok, %zu failed\n", kind.c_str(),
+                  counts.first, counts.second);
+    }
   }
   if (!a.report_path.empty()) {
     std::FILE* f = std::fopen(a.report_path.c_str(), "w");

@@ -104,6 +104,32 @@ dump = doomed["flight_recording"]
 assert dump["schema"] == "flight-recorder-v1", dump
 assert dump["events"], "forked child's flight dump has no events"
 EOF
+# Out-of-band delivery smoke: the whole faults-* family re-run with the
+# oob mechanism forced on through the CLI. The rival mechanism must survive
+# every hostile fault plan (storms, SMI stalls, lost/duplicated edges,
+# timer drift) end-to-end — all ok, counted under the report's
+# per-mechanism breakdown, and the storm plan must not push the oob stage
+# anywhere near the shielded in-band kernel's tens of microseconds.
+oob_faults() {
+  local ctl="$1" out="$2"
+  "${ctl}" run faults-storm-shielded faults-storm-unshielded \
+    faults-smi-shielded faults-lost-dup-shielded faults-drift-shielded \
+    --smoke --jobs "${jobs}" --mechanism oob --json --report "${out}" \
+    > "${out%.json}-results.json"
+  python3 - "${out}" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["failed"] == 0 and report["timed_out"] == 0, report
+mech = report["by_mechanism"]
+assert mech["oob"]["ok"] == report["total"] > 0, report
+results = json.load(open(sys.argv[1][:-5] + "-results.json"))
+for r in results:
+    worst = r["result"]["probe"]["primary"]["summary"]["max"]
+    assert worst < 10_000, (r["spec"]["name"], worst)
+EOF
+}
+oob_faults ./build/tools/shieldctl "${cachedir}/oob-report.json"
+
 python3 tools/telemetry_report.py "${cachedir}/telemetry.json" > /dev/null
 : > "${cachedir}/empty.json"
 if python3 tools/trace_report.py "${cachedir}/empty.json" \
@@ -115,6 +141,11 @@ grep -q "empty" "${cachedir}/trace-err.txt"
 cmake --preset asan
 cmake --build --preset asan -j "${jobs}"
 ctest --preset asan
+
+# The oob faults family again under ASan+UBSan: the stage's context
+# interpreter, captured-timer rearming and stall charging all run off the
+# kernel's usual paths, so they get their own sanitizer pass.
+oob_faults ./build-asan/tools/shieldctl "${cachedir}/oob-asan-report.json"
 
 cmake -S . -B build-notrace -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSHIELDSIM_CHAIN_TRACE=OFF
